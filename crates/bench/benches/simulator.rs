@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the discrete-event simulator: events per
+//! second for rate- and window-based sources and scaling in flow count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpk_congestion::{LinearExp, WindowAimd};
+use fpk_sim::{run, Service, SimConfig, SourceSpec};
+use std::hint::black_box;
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig {
+        mu: 100.0,
+        service: Service::Exponential,
+        buffer: None,
+        t_end: 20.0,
+        warmup: 2.0,
+        sample_interval: 0.5,
+        seed,
+    }
+}
+
+fn rate_source() -> SourceSpec {
+    SourceSpec::Rate {
+        law: LinearExp::new(8.0, 0.5, 10.0),
+        lambda0: 20.0,
+        update_interval: 0.1,
+        prop_delay: 0.01,
+        poisson: true,
+    }
+}
+
+fn bench_rate_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_rate_by_flows");
+    for n in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let sources = vec![rate_source(); n];
+            b.iter(|| run(black_box(&config(1)), black_box(&sources)).expect("sim"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_flows(c: &mut Criterion) {
+    c.bench_function("sim_window_2flows_20s", |b| {
+        let mk = |rtt: f64| SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, rtt, 15.0),
+            w0: 2.0,
+        };
+        let sources = vec![mk(0.03), mk(0.12)];
+        b.iter(|| run(black_box(&config(2)), black_box(&sources)).expect("sim"));
+    });
+}
+
+fn bench_service_disciplines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_by_service");
+    for service in [Service::Deterministic, Service::Exponential] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{service:?}")),
+            &service,
+            |b, &svc| {
+                let mut cfg = config(3);
+                cfg.service = svc;
+                let sources = vec![rate_source()];
+                b.iter(|| run(black_box(&cfg), black_box(&sources)).expect("sim"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rate_flows, bench_window_flows, bench_service_disciplines
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Figure 6 (§7, E7b): unfairness under heterogeneous delays.
+//!
+//! Sweeps the RTT ratio between two AIMD window flows in the packet
+//! simulator and the RTT-scaled fluid DDE, against the sliding-share
+//! prediction share ∝ 1/τ. Also shows the contrast case: identical laws
+//! with pure observation delay stay nearly fair.
+
+use fpk_bench::{fmt, print_table, write_json};
+use fpk_congestion::theory::sliding_share;
+use fpk_congestion::{LinearExp, WindowAimd};
+use fpk_fluid::delay::{simulate_delayed, window_laws_for_delays, DelayParams};
+use fpk_sim::{run, Service, SimConfig, SourceSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    rtt_ratio: f64,
+    predicted_ratio: f64,
+    fluid_ratio: f64,
+    packet_ratio: f64,
+    pure_delay_fluid_ratio: f64,
+}
+
+fn main() {
+    let mu = 5.0;
+    let base_tau = 1.0;
+    let ratios = [1.0, 1.5, 2.0, 3.0, 4.0];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &r in &ratios {
+        let taus = [base_tau, base_tau * r];
+
+        // (a) RTT-scaled laws (window semantics) in the fluid DDE.
+        let laws = window_laws_for_delays(1.0, 0.5, &taus, 10.0);
+        let predicted = sliding_share(&laws, mu).expect("theory");
+        let traj = simulate_delayed(
+            &laws,
+            &DelayParams {
+                mu,
+                q0: 10.0,
+                lambda0: vec![2.5, 2.5],
+                taus: taus.to_vec(),
+                t_end: 800.0,
+                steps: 160_000,
+            },
+        )
+        .expect("dde");
+        let fluid = traj.mean_rates_tail(0.5);
+
+        // (b) Identical laws, pure observation delay (contrast case).
+        let same = [LinearExp::new(1.0, 0.5, 10.0); 2];
+        let traj2 = simulate_delayed(
+            &same,
+            &DelayParams {
+                mu,
+                q0: 10.0,
+                lambda0: vec![2.5, 2.5],
+                taus: taus.to_vec(),
+                t_end: 800.0,
+                steps: 160_000,
+            },
+        )
+        .expect("dde");
+        let pure = traj2.mean_rates_tail(0.5);
+
+        // (c) Packet level: AIMD windows with RTT = τ × 30 ms.
+        let mk = |tau: f64| SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, 0.03 * tau, 15.0),
+            w0: 2.0,
+        };
+        let out = run(
+            &SimConfig {
+                mu: 200.0,
+                service: Service::Exponential,
+                buffer: None,
+                t_end: 300.0,
+                warmup: 60.0,
+                sample_interval: 0.1,
+                seed: 77,
+            },
+            &[mk(taus[0]), mk(taus[1])],
+        )
+        .expect("packets");
+
+        let row = Row {
+            rtt_ratio: r,
+            predicted_ratio: predicted[0] / predicted[1],
+            fluid_ratio: fluid[0] / fluid[1],
+            packet_ratio: out.flows[0].throughput / out.flows[1].throughput,
+            pure_delay_fluid_ratio: pure[0] / pure[1],
+        };
+        table.push(vec![
+            fmt(r, 1),
+            fmt(row.predicted_ratio, 2),
+            fmt(row.fluid_ratio, 2),
+            fmt(row.packet_ratio, 2),
+            fmt(row.pure_delay_fluid_ratio, 3),
+        ]);
+        rows.push(row);
+    }
+    print_table(
+        "Figure 6 — throughput ratio (short/long) vs RTT ratio",
+        &["RTT ratio", "theory (∝1/τ)", "fluid (RTT-scaled)", "packets", "pure-delay (contrast)"],
+        &table,
+    );
+    println!("\nClaim (§7): sources with different feedback delays may get unequal");
+    println!("throughput; the longer connection loses. The RTT-scaled columns");
+    println!("grow with the RTT ratio, while the pure-observation-delay contrast");
+    println!("column stays ≈1 — quantifying *which* mechanism causes Jacobson's");
+    println!("unfairness.");
+    assert!(rows.last().unwrap().packet_ratio > 1.5);
+    write_json("fig6_delay_unfairness", &rows);
+}

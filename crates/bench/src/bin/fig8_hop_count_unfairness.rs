@@ -1,0 +1,88 @@
+//! Figure 8 (introduction, after Zhang [Zha 89] / Jacobson [Jac 88]):
+//! connections traversing more hops get a poorer share of an
+//! intermediate resource than connections with fewer hops.
+//!
+//! A long AIMD flow crosses a K-queue tandem against single-hop
+//! cross-traffic at every hop; we sweep K and report the long flow's
+//! throughput relative to the cross flows.
+
+use fpk_bench::{fmt, print_table, write_json};
+use fpk_congestion::WindowAimd;
+use fpk_sim::{run_tandem, TandemConfig, TandemFlow};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    hops: usize,
+    long_throughput: f64,
+    mean_cross_throughput: f64,
+    long_share_of_hop: f64,
+    rtt_ratio: f64,
+}
+
+fn main() {
+    let aimd = WindowAimd::new(1.0, 0.5, 0.05, 10.0);
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for k in [1usize, 2, 3, 4, 5] {
+        let mut flows = vec![TandemFlow {
+            aimd,
+            w0: 2.0,
+            first_hop: 0,
+            last_hop: k - 1,
+        }];
+        for hop in 0..k {
+            flows.push(TandemFlow {
+                aimd,
+                w0: 2.0,
+                first_hop: hop,
+                last_hop: hop,
+            });
+        }
+        let out = run_tandem(
+            &TandemConfig {
+                mu: vec![100.0; k],
+                exponential_service: true,
+                t_end: 400.0,
+                warmup: 80.0,
+                seed: 404,
+            },
+            &flows,
+        )
+        .expect("tandem");
+        let long = out.flows[0].throughput;
+        let cross: Vec<f64> = out.flows[1..].iter().map(|f| f.throughput).collect();
+        let mean_cross = cross.iter().sum::<f64>() / cross.len() as f64;
+        let row = Row {
+            hops: k,
+            long_throughput: long,
+            mean_cross_throughput: mean_cross,
+            long_share_of_hop: long / (long + mean_cross),
+            rtt_ratio: k as f64, // the long flow's RTT scales with K
+        };
+        table.push(vec![
+            k.to_string(),
+            fmt(long, 1),
+            fmt(mean_cross, 1),
+            fmt(row.long_share_of_hop, 3),
+        ]);
+        rows.push(row);
+    }
+    print_table(
+        "Figure 8 — long flow vs per-hop cross traffic on a K-hop tandem",
+        &["hops K", "long tput", "mean cross tput", "long share of a hop"],
+        &table,
+    );
+    println!("\nClaim (intro, after Zhang/Jacobson): connections with more hops");
+    println!("receive a poorer share. The long flow's per-hop share must fall");
+    println!("monotonically from 0.5 (K = 1, symmetric) as K grows — both its");
+    println!("RTT and its compound marking probability scale with K.");
+    let shares: Vec<f64> = rows.iter().map(|r| r.long_share_of_hop).collect();
+    assert!((shares[0] - 0.5).abs() < 0.1, "K=1 must be symmetric: {shares:?}");
+    assert!(
+        shares.windows(2).all(|w| w[1] < w[0] + 0.02),
+        "share must fall with K: {shares:?}"
+    );
+    assert!(*shares.last().unwrap() < 0.3, "5-hop flow must be clearly penalised");
+    write_json("fig8_hop_count_unfairness", &rows);
+}

@@ -1,0 +1,82 @@
+//! Table 1 (Theorem 1): convergence of the no-delay JRJ system across a
+//! parameter sweep — contraction factors, cycles to 1% defect, analytic
+//! vs numeric agreement.
+
+use fpk_bench::{fmt, print_table, write_json};
+use fpk_congestion::theory::ReturnMap;
+use fpk_congestion::LinearExp;
+use fpk_fluid::theorem1;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    c0: f64,
+    c1: f64,
+    q_hat: f64,
+    mu: f64,
+    lambda0: f64,
+    all_contracting: bool,
+    worst_contraction: f64,
+    cycles_to_1pct: Option<usize>,
+    numeric_agreement: f64,
+}
+
+fn main() {
+    let cases = [
+        (1.0, 0.5, 10.0, 5.0, 0.5),
+        (1.0, 0.5, 10.0, 5.0, 4.5),
+        (0.5, 3.0, 5.0, 8.0, 1.0),
+        (2.0, 0.05, 20.0, 3.0, 0.5),
+        (0.2, 0.5, 0.5, 5.0, 0.0), // hits the q = 0 boundary
+        (5.0, 1.0, 2.0, 10.0, 2.0),
+        (0.05, 0.05, 50.0, 1.0, 0.1),
+    ];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &(c0, c1, q_hat, mu, lambda0) in &cases {
+        let law = LinearExp::new(c0, c1, q_hat);
+        let report = theorem1::verify(law, mu, lambda0, 6, 5e-4).expect("verify");
+        let map = ReturnMap::new(law, mu).expect("map");
+        let cycles = map
+            .cycles_to_converge(lambda0, 1e-2, 1_000_000)
+            .expect("cycles");
+        let worst = report
+            .contraction_factors
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        table.push(vec![
+            fmt(c0, 2),
+            fmt(c1, 2),
+            fmt(q_hat, 1),
+            fmt(mu, 1),
+            fmt(lambda0, 2),
+            report.all_contracting.to_string(),
+            fmt(worst, 4),
+            cycles.map_or("-".into(), |c| c.to_string()),
+            format!("{:.1e}", report.max_discrepancy),
+        ]);
+        rows.push(Row {
+            c0,
+            c1,
+            q_hat,
+            mu,
+            lambda0,
+            all_contracting: report.all_contracting,
+            worst_contraction: worst,
+            cycles_to_1pct: cycles,
+            numeric_agreement: report.max_discrepancy,
+        });
+    }
+    print_table(
+        "Table 1 — Theorem 1: convergence of linear-increase/exponential-decrease",
+        &[
+            "C0", "C1", "q̂", "mu", "lambda0", "contracting", "worst factor", "cycles→1%", "num-vs-analytic",
+        ],
+        &table,
+    );
+    println!("\nClaim (paper): the algorithm converges to (q̂, mu) for every");
+    println!("parameter choice — 'contracting' must read true in every row.");
+    assert!(rows.iter().all(|r| r.all_contracting));
+    write_json("tbl1_theorem1", &rows);
+}

@@ -1,0 +1,113 @@
+//! Table 4 (§6, E6b): heterogeneous parameters — the exact share of the
+//! resource each source gets is λ_i* = μ·(C0_i/C1_i)/Σ(C0_j/C1_j).
+//! Theory vs fluid vs packet simulator.
+
+use fpk_bench::{fmt, print_table, write_json};
+use fpk_congestion::fairness::share_prediction_error;
+use fpk_congestion::theory::sliding_share;
+use fpk_congestion::LinearExp;
+use fpk_fluid::multi::{simulate_multi, MultiParams};
+use fpk_sim::{run, Service, SimConfig, SourceSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Case {
+    ratios: Vec<f64>,
+    predicted: Vec<f64>,
+    fluid_measured: Vec<f64>,
+    fluid_gap: f64,
+    packet_measured: Vec<f64>,
+    packet_gap: f64,
+}
+
+fn main() {
+    let mu = 10.0;
+    let configs: Vec<Vec<(f64, f64)>> = vec![
+        vec![(1.0, 0.5), (2.0, 0.5)],
+        vec![(1.0, 0.5), (2.0, 0.5), (0.5, 0.5)],
+        vec![(1.0, 1.0), (1.0, 0.25)],
+        vec![(0.5, 0.5), (1.0, 0.5), (1.5, 0.5), (2.0, 0.5)],
+    ];
+    let mut cases = Vec::new();
+    let mut table = Vec::new();
+    for (ci, cfg) in configs.iter().enumerate() {
+        let laws: Vec<LinearExp> = cfg
+            .iter()
+            .map(|&(c0, c1)| LinearExp::new(c0, c1, 10.0))
+            .collect();
+        let predicted = sliding_share(&laws, mu).expect("theory");
+
+        let traj = simulate_multi(
+            &laws,
+            &MultiParams {
+                mu,
+                q0: 0.0,
+                lambda0: vec![1.0; laws.len()],
+                t_end: 600.0,
+                dt: 2e-3,
+            },
+        )
+        .expect("fluid");
+        let fluid = traj.mean_rates_tail(0.25);
+        let fluid_gap = share_prediction_error(&fluid, &predicted).expect("gap");
+
+        // Packet level: scale C0 ×4 to packet units (μ = 100 pkts/s).
+        let pkt_laws: Vec<LinearExp> = cfg
+            .iter()
+            .map(|&(c0, c1)| LinearExp::new(4.0 * c0, c1, 12.0))
+            .collect();
+        let sources: Vec<SourceSpec> = pkt_laws
+            .iter()
+            .map(|law| SourceSpec::Rate {
+                law: *law,
+                lambda0: 5.0,
+                update_interval: 0.1,
+                prop_delay: 0.01,
+                poisson: true,
+            })
+            .collect();
+        let out = run(
+            &SimConfig {
+                mu: 100.0,
+                service: Service::Exponential,
+                buffer: None,
+                t_end: 400.0,
+                warmup: 100.0,
+                sample_interval: 0.1,
+                seed: 2000 + ci as u64,
+            },
+            &sources,
+        )
+        .expect("packets");
+        let packet: Vec<f64> = out.flows.iter().map(|f| f.throughput).collect();
+        let pkt_pred = sliding_share(&pkt_laws, out.total_throughput).expect("theory");
+        let packet_gap = share_prediction_error(&packet, &pkt_pred).expect("gap");
+
+        let ratios: Vec<f64> = cfg.iter().map(|&(c0, c1)| c0 / c1).collect();
+        table.push(vec![
+            format!("{ratios:?}"),
+            format!("{:?}", predicted.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()),
+            format!("{:?}", fluid.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()),
+            fmt(fluid_gap, 4),
+            fmt(packet_gap, 4),
+        ]);
+        cases.push(Case {
+            ratios,
+            predicted,
+            fluid_measured: fluid,
+            fluid_gap,
+            packet_measured: packet,
+            packet_gap,
+        });
+    }
+    print_table(
+        "Table 4 — heterogeneous shares: λ_i* ∝ C0_i/C1_i",
+        &["C0/C1 ratios", "theory", "fluid", "fluid gap", "packet gap"],
+        &table,
+    );
+    println!("\nClaim (§6): the exact share each source gets is determined by its");
+    println!("parameters — normalised gaps must be ≲1e-3 (fluid) / a few % (packets).");
+    assert!(cases.iter().all(|c| c.fluid_gap < 5e-3));
+    assert!(cases.iter().all(|c| c.packet_gap < 0.08));
+    write_json("tbl4_hetero_share", &cases);
+}

@@ -1,0 +1,125 @@
+//! `fpk-bench` — the experiment harness.
+//!
+//! One binary per figure/table of the paper (see `DESIGN.md` §5 for the
+//! experiment index and `EXPERIMENTS.md` for recorded outcomes):
+//!
+//! | binary | artefact | claim reproduced |
+//! |---|---|---|
+//! | `fig1_queue_trajectory` | Figure 1 | sample path of Q(t) under adaptive control |
+//! | `fig2_characteristics`  | Figure 2 | drift directions in the four (q, ν) quadrants |
+//! | `fig3_convergent_spiral`| Figure 3 | spiral into the limit point (q̂, μ) |
+//! | `tbl1_theorem1`         | Thm 1    | universal convergence + contraction factors |
+//! | `tbl2_fp_vs_mc`         | Eq. 14   | PDE density ↔ Langevin ensemble agreement |
+//! | `fig4_sigma_spread`     | §5       | stationary spread vs σ |
+//! | `tbl3_fair_share`       | §6       | equal parameters → equal shares |
+//! | `tbl4_hetero_share`     | §6       | shares ∝ C0/C1, theory vs fluid vs packets |
+//! | `fig5_delay_limit_cycle`| §7       | limit-cycle amplitude/period vs delay |
+//! | `fig6_delay_unfairness` | §7       | throughput ratio vs RTT ratio |
+//! | `tbl5_algorithm_oscillation` | §7  | linear/exp vs linear/linear dichotomy |
+//! | `fig7_density_evolution`| §4       | f(t, q, ν) transport snapshots |
+//! | `tbl6_ablation_limiter` | ablation | limiter choice vs numerical diffusion |
+//! | `tbl7_ablation_grid`    | ablation | grid/Δt refinement convergence |
+//!
+//! Every binary prints a human-readable table to stdout **and** writes a
+//! JSON artefact to `results/` so `EXPERIMENTS.md` can be regenerated
+//! mechanically. Run all of them via
+//! `for b in $(ls crates/bench/src/bin | sed s/.rs//); do cargo run --release -p fpk-bench --bin $b; done`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Where JSON artefacts are written (`results/` under the workspace root,
+/// or the current directory as a fallback).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    // When run via `cargo run -p fpk-bench`, CWD is the workspace root.
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_ok() {
+        dir
+    } else {
+        PathBuf::from(".")
+    }
+}
+
+/// Serialise an experiment artefact to `results/<name>.json`.
+///
+/// # Panics
+/// Panics when serialisation or the write fails — an experiment binary
+/// should fail loudly rather than record nothing.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(value).expect("experiment output must serialise");
+    fs::write(&path, body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("\n[artefact written to {}]", path.display());
+}
+
+/// Print a Markdown-style table: headers then rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format a float with fixed precision for table cells.
+#[must_use]
+pub fn fmt(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(-0.5, 3), "-0.500");
+    }
+
+    #[test]
+    fn results_dir_is_writable() {
+        let dir = results_dir();
+        assert!(dir.exists() || dir == PathBuf::from("."));
+    }
+
+    #[test]
+    fn write_and_table_smoke() {
+        #[derive(Serialize)]
+        struct Tiny {
+            x: f64,
+        }
+        write_json("selftest", &Tiny { x: 1.0 });
+        print_table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let p = results_dir().join("selftest.json");
+        assert!(p.exists());
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fairness metrics for throughput allocations.
+//!
+//! The paper's fairness notion (footnote 1): an algorithm is fair when
+//! everybody gets a "fair share" — synonymous with *equal* share when all
+//! demands are equal. These metrics quantify how close a measured
+//! allocation comes, and are reported in experiments E6a/E6b/E7b.
+
+use fpk_numerics::{NumericsError, Result};
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`. Equals 1 for perfectly equal
+/// allocations and `1/n` when one source takes everything.
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] for empty input, negative entries,
+/// or an all-zero allocation.
+pub fn jain_index(x: &[f64]) -> Result<f64> {
+    if x.is_empty() {
+        return Err(NumericsError::InvalidParameter {
+            context: "jain_index: empty allocation",
+        });
+    }
+    if x.iter().any(|v| *v < 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            context: "jain_index: negative throughput",
+        });
+    }
+    let sum: f64 = x.iter().sum();
+    let sum_sq: f64 = x.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return Err(NumericsError::InvalidParameter {
+            context: "jain_index: all-zero allocation",
+        });
+    }
+    Ok(sum * sum / (x.len() as f64 * sum_sq))
+}
+
+/// Ratio of the smallest to the largest allocation (1 = perfectly equal).
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] for empty input or a zero maximum.
+pub fn min_max_ratio(x: &[f64]) -> Result<f64> {
+    if x.is_empty() {
+        return Err(NumericsError::InvalidParameter {
+            context: "min_max_ratio: empty allocation",
+        });
+    }
+    let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = x.iter().cloned().fold(f64::INFINITY, f64::min);
+    if max <= 0.0 {
+        return Err(NumericsError::InvalidParameter {
+            context: "min_max_ratio: non-positive maximum",
+        });
+    }
+    Ok(min / max)
+}
+
+/// Normalise an allocation to fractions of the total.
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] for an empty or zero-total input.
+pub fn normalized_shares(x: &[f64]) -> Result<Vec<f64>> {
+    if x.is_empty() {
+        return Err(NumericsError::InvalidParameter {
+            context: "normalized_shares: empty allocation",
+        });
+    }
+    let total: f64 = x.iter().sum();
+    if total <= 0.0 {
+        return Err(NumericsError::InvalidParameter {
+            context: "normalized_shares: non-positive total",
+        });
+    }
+    Ok(x.iter().map(|v| v / total).collect())
+}
+
+/// Maximum absolute deviation between measured and predicted shares,
+/// after normalising both — the headline number of experiment E6b.
+///
+/// # Errors
+/// [`NumericsError::DimensionMismatch`] when lengths differ; propagates
+/// [`normalized_shares`] errors.
+pub fn share_prediction_error(measured: &[f64], predicted: &[f64]) -> Result<f64> {
+    if measured.len() != predicted.len() {
+        return Err(NumericsError::DimensionMismatch {
+            context: "share_prediction_error: length mismatch",
+        });
+    }
+    let m = normalized_shares(measured)?;
+    let p = normalized_shares(predicted)?;
+    Ok(m.iter()
+        .zip(p.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_equal_allocation_is_one() {
+        assert!((jain_index(&[2.0, 2.0, 2.0]).unwrap() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jain_single_hog_is_one_over_n() {
+        let j = jain_index(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((j - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jain_intermediate() {
+        let j = jain_index(&[1.0, 3.0]).unwrap();
+        // (4)^2 / (2 * 10) = 0.8
+        assert!((j - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jain_rejects_bad_input() {
+        assert!(jain_index(&[]).is_err());
+        assert!(jain_index(&[1.0, -1.0]).is_err());
+        assert!(jain_index(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn min_max_ratio_cases() {
+        assert!((min_max_ratio(&[2.0, 4.0]).unwrap() - 0.5).abs() < 1e-15);
+        assert!((min_max_ratio(&[3.0, 3.0]).unwrap() - 1.0).abs() < 1e-15);
+        assert!(min_max_ratio(&[]).is_err());
+        assert!(min_max_ratio(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn shares_normalise() {
+        let s = normalized_shares(&[1.0, 3.0]).unwrap();
+        assert!((s[0] - 0.25).abs() < 1e-15);
+        assert!((s[1] - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn prediction_error_zero_for_scaled_copies() {
+        // Same proportions at different absolute scales → zero error.
+        let e = share_prediction_error(&[2.0, 6.0], &[1.0, 3.0]).unwrap();
+        assert!(e < 1e-15);
+    }
+
+    #[test]
+    fn prediction_error_detects_skew() {
+        let e = share_prediction_error(&[1.0, 1.0], &[1.0, 3.0]).unwrap();
+        assert!((e - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn prediction_error_length_mismatch() {
+        assert!(share_prediction_error(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! The [`RateControl`] trait — the paper's generic `g(·)` of Eq. 3.
+//!
+//! Every consumer of a control law (fluid ODEs, Fokker–Planck ν-drift,
+//! discrete-event sources) sees only this trait, so new laws plug into all
+//! three analyses at once.
+
+/// The binary congestion signal a source receives about the bottleneck.
+///
+/// The paper's laws switch on `Q(t) > q̂`; packet-level systems infer the
+/// same bit from loss or marks. Keeping it an enum (rather than a bool)
+/// leaves room for richer signals in extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongestionSignal {
+    /// Queue at or below target — keep probing for bandwidth.
+    Underloaded,
+    /// Queue above target — back off.
+    Congested,
+}
+
+impl CongestionSignal {
+    /// Derive the signal from a queue observation and threshold, the
+    /// paper's `Q(t) > q̂` test.
+    #[must_use]
+    pub fn from_queue(q: f64, q_hat: f64) -> Self {
+        if q > q_hat {
+            CongestionSignal::Congested
+        } else {
+            CongestionSignal::Underloaded
+        }
+    }
+}
+
+/// A dynamic rate-control law `dλ/dt = g(Q, λ)`.
+///
+/// Implementations must be memoryless in `(Q, λ)` — all state lives in the
+/// arguments — which is exactly the structure the Fokker–Planck derivation
+/// of Section 4 requires (the law enters the PDE as the ν-drift
+/// coefficient `g`).
+pub trait RateControl {
+    /// The rate derivative `g(q, λ)` given the *observed* queue length
+    /// `q` (which may be stale under delayed feedback) and the current
+    /// sending rate `λ`.
+    fn g(&self, q: f64, lambda: f64) -> f64;
+
+    /// The switching threshold q̂ (target queue length).
+    fn q_hat(&self) -> f64;
+
+    /// The rate derivative given a pre-computed congestion signal; default
+    /// dispatches through [`RateControl::g`] semantics via a synthetic
+    /// queue observation. Laws whose `g` depends on `q` beyond the binary
+    /// comparison should override this.
+    fn g_signal(&self, signal: CongestionSignal, lambda: f64) -> f64 {
+        let q = match signal {
+            CongestionSignal::Underloaded => self.q_hat(),
+            CongestionSignal::Congested => self.q_hat() + 1.0,
+        };
+        self.g(q, lambda)
+    }
+
+    /// Human-readable law name for reports and experiment output.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+
+    /// Whether the *decrease* branch is proportional to λ (multiplicative/
+    /// exponential decrease). Section 7 of the paper shows this property
+    /// decides whether oscillation can be blamed on the algorithm itself:
+    /// exponential-decrease laws are stable without delay; laws violating
+    /// this (e.g. linear decrease) can oscillate even with instant
+    /// feedback.
+    fn is_multiplicative_decrease(&self) -> bool;
+}
+
+impl<T: RateControl + ?Sized> RateControl for &T {
+    fn g(&self, q: f64, lambda: f64) -> f64 {
+        (**self).g(q, lambda)
+    }
+    fn q_hat(&self) -> f64 {
+        (**self).q_hat()
+    }
+    fn g_signal(&self, signal: CongestionSignal, lambda: f64) -> f64 {
+        (**self).g_signal(signal, lambda)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn is_multiplicative_decrease(&self) -> bool {
+        (**self).is_multiplicative_decrease()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_from_queue_threshold_semantics() {
+        // Paper: increase when Q <= q̂ (inclusive), decrease when Q > q̂.
+        assert_eq!(
+            CongestionSignal::from_queue(5.0, 5.0),
+            CongestionSignal::Underloaded
+        );
+        assert_eq!(
+            CongestionSignal::from_queue(5.0 + 1e-12, 5.0),
+            CongestionSignal::Congested
+        );
+        assert_eq!(
+            CongestionSignal::from_queue(0.0, 5.0),
+            CongestionSignal::Underloaded
+        );
+    }
+
+    struct Toy;
+    impl RateControl for Toy {
+        fn g(&self, q: f64, lambda: f64) -> f64 {
+            if q > self.q_hat() {
+                -lambda
+            } else {
+                1.0
+            }
+        }
+        fn q_hat(&self) -> f64 {
+            2.0
+        }
+        fn is_multiplicative_decrease(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn default_g_signal_matches_g() {
+        let law = Toy;
+        assert_eq!(
+            law.g_signal(CongestionSignal::Underloaded, 3.0),
+            law.g(2.0, 3.0)
+        );
+        assert_eq!(
+            law.g_signal(CongestionSignal::Congested, 3.0),
+            law.g(3.0, 3.0)
+        );
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let law = Toy;
+        let r = &law;
+        assert_eq!(r.q_hat(), 2.0);
+        assert_eq!(r.g(0.0, 1.0), 1.0);
+        assert!(r.is_multiplicative_decrease());
+    }
+}

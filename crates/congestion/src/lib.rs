@@ -1,0 +1,40 @@
+//! Adaptive congestion-control laws and their equilibrium/fairness theory.
+//!
+//! The paper analyses rate-adaptation rules of the form
+//!
+//! ```text
+//! dλ/dt = g(Q, λ)
+//! ```
+//!
+//! driven by (possibly delayed) knowledge of a bottleneck queue length Q.
+//! The flagship rule is the **JRJ algorithm** (Jacobson 88 /
+//! Ramakrishnan–Jain 88), Eq. 2 of the paper:
+//!
+//! ```text
+//! g(Q, λ) =  C0        if Q ≤ q̂     (linear increase — probe)
+//!            -C1 · λ    if Q > q̂     (exponential decrease — back off)
+//! ```
+//!
+//! # Modules
+//!
+//! * [`law`] — the [`law::RateControl`] trait shared by the fluid model,
+//!   the Fokker–Planck solver and the discrete-event simulator.
+//! * [`laws`] — concrete laws: [`laws::LinearExp`] (JRJ),
+//!   [`laws::LinearLinear`], [`laws::Mimd`], window↔rate conversion.
+//! * [`theory`] — Section 5/6 theory: the single-source return map on the
+//!   switching line (Theorem 1 machinery) and the multi-source sliding-
+//!   mode equilibrium predicting each source's share `∝ C0_i / C1_i`.
+//! * [`fairness`] — Jain's index and related share metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decbit;
+pub mod fairness;
+pub mod law;
+pub mod laws;
+pub mod theory;
+pub mod window_map;
+
+pub use law::{CongestionSignal, RateControl};
+pub use laws::{LinearExp, LinearLinear, Mimd, WindowAimd};

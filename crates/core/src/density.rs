@@ -1,0 +1,298 @@
+//! The joint density f(q, ν) on a 2-D grid: construction, marginals,
+//! moments and mass audits.
+
+use fpk_numerics::grid::{Grid1d, Grid2d};
+use fpk_numerics::{NumericsError, Result};
+
+/// A discretised joint density over `(q, ν)`, stored row-major with q as
+/// the first axis (see [`Grid2d::idx`]).
+#[derive(Debug, Clone)]
+pub struct Density {
+    /// The grid geometry.
+    pub grid: Grid2d,
+    /// Cell-averaged density values, length `grid.len()`.
+    pub data: Vec<f64>,
+}
+
+impl Density {
+    /// Zero density on the given grid.
+    #[must_use]
+    pub fn zeros(grid: Grid2d) -> Self {
+        let n = grid.len();
+        Self {
+            grid,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// An isotropic Gaussian centred at `(q0, nu0)` with standard
+    /// deviations `(sq, snu)`, normalised to unit mass on the grid.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] for non-positive widths or when
+    /// the Gaussian has negligible mass inside the domain.
+    pub fn gaussian(grid: Grid2d, q0: f64, nu0: f64, sq: f64, snu: f64) -> Result<Self> {
+        if !(sq > 0.0 && snu > 0.0) {
+            return Err(NumericsError::InvalidParameter {
+                context: "Density::gaussian: widths must be positive",
+            });
+        }
+        let mut d = Self::zeros(grid);
+        for i in 0..d.grid.x.n() {
+            for j in 0..d.grid.y.n() {
+                let (q, nu) = d.grid.center(i, j);
+                let e = -0.5 * ((q - q0) / sq).powi(2) - 0.5 * ((nu - nu0) / snu).powi(2);
+                d.data[d.grid.idx(i, j)] = e.exp();
+            }
+        }
+        d.normalize()?;
+        Ok(d)
+    }
+
+    /// A near-delta: all mass in the cell containing `(q0, nu0)`.
+    #[must_use]
+    pub fn point_mass(grid: Grid2d, q0: f64, nu0: f64) -> Self {
+        let mut d = Self::zeros(grid);
+        let i = d.grid.x.locate(q0);
+        let j = d.grid.y.locate(nu0);
+        let idx = d.grid.idx(i, j);
+        d.data[idx] = 1.0 / d.grid.cell_area();
+        d
+    }
+
+    /// Total mass `∬ f dq dν`.
+    #[must_use]
+    pub fn mass(&self) -> f64 {
+        self.data.iter().sum::<f64>() * self.grid.cell_area()
+    }
+
+    /// Rescale to unit mass.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] when the current mass is not
+    /// positive.
+    pub fn normalize(&mut self) -> Result<()> {
+        let m = self.mass();
+        if !(m > 0.0) {
+            return Err(NumericsError::InvalidParameter {
+                context: "Density::normalize: non-positive mass",
+            });
+        }
+        for v in &mut self.data {
+            *v /= m;
+        }
+        Ok(())
+    }
+
+    /// Marginal density in q: `f_Q(q_i) = Σ_j f(q_i, ν_j) Δν`.
+    #[must_use]
+    pub fn marginal_q(&self) -> Vec<f64> {
+        let (nx, ny) = (self.grid.x.n(), self.grid.y.n());
+        let dnu = self.grid.y.dx();
+        let mut out = vec![0.0; nx];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * ny..(i + 1) * ny];
+            *o = row.iter().sum::<f64>() * dnu;
+        }
+        out
+    }
+
+    /// Marginal density in ν.
+    #[must_use]
+    pub fn marginal_nu(&self) -> Vec<f64> {
+        let (nx, ny) = (self.grid.x.n(), self.grid.y.n());
+        let dq = self.grid.x.dx();
+        let mut out = vec![0.0; ny];
+        for i in 0..nx {
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += self.data[i * ny + j];
+            }
+        }
+        for o in &mut out {
+            *o *= dq;
+        }
+        out
+    }
+
+    /// Mean of q under the density (normalised internally).
+    #[must_use]
+    pub fn mean_q(&self) -> f64 {
+        let m = self.mass();
+        let ny = self.grid.y.n();
+        let mut acc = 0.0;
+        for i in 0..self.grid.x.n() {
+            let q = self.grid.x.center(i);
+            let row: f64 = self.data[i * ny..(i + 1) * ny].iter().sum();
+            acc += q * row;
+        }
+        acc * self.grid.cell_area() / m
+    }
+
+    /// Mean of ν under the density.
+    #[must_use]
+    pub fn mean_nu(&self) -> f64 {
+        let m = self.mass();
+        let ny = self.grid.y.n();
+        let mut acc = 0.0;
+        for i in 0..self.grid.x.n() {
+            for j in 0..ny {
+                acc += self.grid.y.center(j) * self.data[i * ny + j];
+            }
+        }
+        acc * self.grid.cell_area() / m
+    }
+
+    /// Variance of q under the density.
+    #[must_use]
+    pub fn var_q(&self) -> f64 {
+        let m = self.mass();
+        let mean = self.mean_q();
+        let ny = self.grid.y.n();
+        let mut acc = 0.0;
+        for i in 0..self.grid.x.n() {
+            let q = self.grid.x.center(i);
+            let row: f64 = self.data[i * ny..(i + 1) * ny].iter().sum();
+            acc += (q - mean) * (q - mean) * row;
+        }
+        acc * self.grid.cell_area() / m
+    }
+
+    /// Variance of ν under the density.
+    #[must_use]
+    pub fn var_nu(&self) -> f64 {
+        let m = self.mass();
+        let mean = self.mean_nu();
+        let ny = self.grid.y.n();
+        let mut acc = 0.0;
+        for i in 0..self.grid.x.n() {
+            for j in 0..ny {
+                let d = self.grid.y.center(j) - mean;
+                acc += d * d * self.data[i * ny + j];
+            }
+        }
+        acc * self.grid.cell_area() / m
+    }
+
+    /// Grid coordinates of the density mode (cell with the largest value).
+    #[must_use]
+    pub fn mode(&self) -> (f64, f64) {
+        let ny = self.grid.y.n();
+        let (mut best, mut bi, mut bj) = (f64::NEG_INFINITY, 0, 0);
+        for i in 0..self.grid.x.n() {
+            for j in 0..ny {
+                let v = self.data[i * ny + j];
+                if v > best {
+                    best = v;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        self.grid.center(bi, bj)
+    }
+
+    /// Smallest cell value (for positivity audits).
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Fraction of mass in the outermost cell ring — a cheap leak audit:
+    /// if this grows, the domain is too small for the dynamics.
+    #[must_use]
+    pub fn boundary_mass_fraction(&self) -> f64 {
+        let (nx, ny) = (self.grid.x.n(), self.grid.y.n());
+        let mut acc = 0.0;
+        for i in 0..nx {
+            for j in 0..ny {
+                if i == 0 || i == nx - 1 || j == 0 || j == ny - 1 {
+                    acc += self.data[i * ny + j];
+                }
+            }
+        }
+        acc * self.grid.cell_area() / self.mass()
+    }
+
+    /// Build the standard grid used across examples and benches:
+    /// `[0, q_max] × [nu_min, nu_max]` with `nq × nnu` cells.
+    ///
+    /// # Errors
+    /// Propagates [`Grid1d::new`] validation.
+    pub fn standard_grid(q_max: f64, nu_min: f64, nu_max: f64, nq: usize, nnu: usize) -> Result<Grid2d> {
+        Ok(Grid2d::new(
+            Grid1d::new(0.0, q_max, nq)?,
+            Grid1d::new(nu_min, nu_max, nnu)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid2d {
+        Density::standard_grid(20.0, -5.0, 5.0, 40, 30).unwrap()
+    }
+
+    #[test]
+    fn gaussian_has_unit_mass() {
+        let d = Density::gaussian(grid(), 10.0, 0.0, 2.0, 1.0).unwrap();
+        assert!((d.mass() - 1.0).abs() < 1e-12);
+        assert!(d.min_value() >= 0.0);
+    }
+
+    #[test]
+    fn gaussian_moments_match_parameters() {
+        let d = Density::gaussian(grid(), 10.0, 1.0, 1.5, 0.8).unwrap();
+        assert!((d.mean_q() - 10.0).abs() < 0.05, "mean_q {}", d.mean_q());
+        assert!((d.mean_nu() - 1.0).abs() < 0.05, "mean_nu {}", d.mean_nu());
+        assert!((d.var_q() - 2.25).abs() < 0.15, "var_q {}", d.var_q());
+        assert!((d.var_nu() - 0.64).abs() < 0.1, "var_nu {}", d.var_nu());
+    }
+
+    #[test]
+    fn gaussian_rejects_bad_widths() {
+        assert!(Density::gaussian(grid(), 10.0, 0.0, 0.0, 1.0).is_err());
+        assert!(Density::gaussian(grid(), 10.0, 0.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn point_mass_integrates_to_one() {
+        let d = Density::point_mass(grid(), 10.0, 0.0);
+        assert!((d.mass() - 1.0).abs() < 1e-12);
+        let (mq, mn) = d.mode();
+        assert!((mq - 10.0).abs() <= d.grid.x.dx());
+        assert!((mn - 0.0).abs() <= d.grid.y.dx());
+    }
+
+    #[test]
+    fn marginals_integrate_to_mass() {
+        let d = Density::gaussian(grid(), 8.0, -1.0, 2.0, 1.0).unwrap();
+        let mq: f64 = d.marginal_q().iter().sum::<f64>() * d.grid.x.dx();
+        let mn: f64 = d.marginal_nu().iter().sum::<f64>() * d.grid.y.dx();
+        assert!((mq - 1.0).abs() < 1e-12);
+        assert!((mn - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_scales_to_one() {
+        let mut d = Density::zeros(grid());
+        d.data.iter_mut().for_each(|v| *v = 3.0);
+        d.normalize().unwrap();
+        assert!((d.mass() - 1.0).abs() < 1e-12);
+        let mut z = Density::zeros(grid());
+        assert!(z.normalize().is_err());
+    }
+
+    #[test]
+    fn boundary_fraction_small_for_centred_gaussian() {
+        let d = Density::gaussian(grid(), 10.0, 0.0, 1.0, 0.8).unwrap();
+        assert!(d.boundary_mass_fraction() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_fraction_large_for_edge_mass() {
+        let d = Density::point_mass(grid(), 0.0, -5.0);
+        assert!(d.boundary_mass_fraction() > 0.99);
+    }
+}

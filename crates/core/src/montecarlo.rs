@@ -1,0 +1,329 @@
+//! Langevin Monte-Carlo simulation of the process whose density obeys
+//! Eq. 14:
+//!
+//! ```text
+//! dQ = ν dt + σ dW        (reflected at Q = 0)
+//! dν = g(Q, ν + μ) dt      (clamped so λ = ν + μ ≥ 0)
+//! ```
+//!
+//! Euler–Maruyama with reflection at the empty-queue boundary is the
+//! sample-path twin of the PDE with its zero-flux boundary; histograms of
+//! a particle ensemble must agree with the solver's marginals (experiment
+//! E4 — the KS distance is the reported metric). The ensemble runs in
+//! parallel with `crossbeam` scoped threads, one deterministic RNG stream
+//! per chunk, so results are bit-reproducible for a fixed (seed, thread
+//! count) pair and statistically identical across thread counts.
+
+use fpk_congestion::RateControl;
+use fpk_numerics::{NumericsError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a Monte-Carlo ensemble run.
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// Service rate μ.
+    pub mu: f64,
+    /// Noise strength σ² (matching the PDE's diffusion coefficient).
+    pub sigma2: f64,
+    /// Number of particles.
+    pub n_particles: usize,
+    /// Euler–Maruyama step.
+    pub dt: f64,
+    /// Base RNG seed; each worker chunk derives `seed + chunk_index`.
+    pub seed: u64,
+    /// Number of worker threads (1 = sequential).
+    pub threads: usize,
+    /// Initial mean (q, ν) of the ensemble.
+    pub init_mean: (f64, f64),
+    /// Initial standard deviation (q, ν) of the (Gaussian) ensemble.
+    pub init_std: (f64, f64),
+}
+
+impl McConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.mu > 0.0) || self.sigma2 < 0.0 || !(self.dt > 0.0) {
+            return Err(NumericsError::InvalidParameter {
+                context: "McConfig: need mu > 0, sigma2 >= 0, dt > 0",
+            });
+        }
+        if self.n_particles == 0 || self.threads == 0 {
+            return Err(NumericsError::InvalidParameter {
+                context: "McConfig: need n_particles > 0 and threads > 0",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Ensemble state at one snapshot time.
+#[derive(Debug, Clone)]
+pub struct McSnapshot {
+    /// Snapshot time.
+    pub t: f64,
+    /// Queue-length samples (one per particle).
+    pub q: Vec<f64>,
+    /// Growth-rate samples (one per particle).
+    pub nu: Vec<f64>,
+}
+
+impl McSnapshot {
+    /// Sample mean of q.
+    #[must_use]
+    pub fn mean_q(&self) -> f64 {
+        fpk_numerics::stats::mean(&self.q)
+    }
+
+    /// Sample mean of ν.
+    #[must_use]
+    pub fn mean_nu(&self) -> f64 {
+        fpk_numerics::stats::mean(&self.nu)
+    }
+
+    /// Sample variance of q.
+    #[must_use]
+    pub fn var_q(&self) -> f64 {
+        fpk_numerics::stats::variance(&self.q)
+    }
+}
+
+/// Simulate the ensemble, recording snapshots at the requested times
+/// (which must be non-negative and strictly increasing).
+///
+/// # Errors
+/// Configuration validation errors, or empty/unsorted `snapshot_times`.
+pub fn simulate_ensemble<L: RateControl + Sync>(
+    law: &L,
+    cfg: &McConfig,
+    snapshot_times: &[f64],
+) -> Result<Vec<McSnapshot>> {
+    cfg.validate()?;
+    if snapshot_times.is_empty()
+        || snapshot_times.windows(2).any(|w| w[1] <= w[0])
+        || snapshot_times[0] < 0.0
+    {
+        return Err(NumericsError::InvalidParameter {
+            context: "simulate_ensemble: snapshot times must be non-negative and increasing",
+        });
+    }
+    let n = cfg.n_particles;
+    let threads = cfg.threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let sigma = cfg.sigma2.sqrt();
+
+    // Pre-allocate snapshot stores.
+    let mut snaps: Vec<McSnapshot> = snapshot_times
+        .iter()
+        .map(|&t| McSnapshot {
+            t,
+            q: vec![0.0; n],
+            nu: vec![0.0; n],
+        })
+        .collect();
+
+    // Split the per-snapshot buffers into per-chunk windows so worker
+    // threads write disjoint slices.
+    let mut snap_views: Vec<Vec<(&mut [f64], &mut [f64])>> = Vec::with_capacity(threads);
+    {
+        // Decompose each snapshot's q/nu into `threads` chunks.
+        let mut remaining: Vec<(&mut [f64], &mut [f64])> = snaps
+            .iter_mut()
+            .map(|s| (s.q.as_mut_slice(), s.nu.as_mut_slice()))
+            .collect();
+        for c in 0..threads {
+            let size = chunk.min(n - c * chunk);
+            let mut this_chunk = Vec::with_capacity(remaining.len());
+            let mut rest = Vec::with_capacity(remaining.len());
+            for (q, nu) in remaining {
+                let (q_head, q_tail) = q.split_at_mut(size);
+                let (nu_head, nu_tail) = nu.split_at_mut(size);
+                this_chunk.push((q_head, nu_head));
+                rest.push((q_tail, nu_tail));
+            }
+            snap_views.push(this_chunk);
+            remaining = rest;
+        }
+    }
+
+    crossbeam::scope(|scope| {
+        for (c, views) in snap_views.into_iter().enumerate() {
+            let law = &law;
+            let times = snapshot_times;
+            scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(c as u64));
+                let count = views.first().map_or(0, |(q, _)| q.len());
+                let mut qs = vec![0.0f64; count];
+                let mut nus = vec![0.0f64; count];
+                for p in 0..count {
+                    qs[p] = (cfg.init_mean.0 + cfg.init_std.0 * gauss(&mut rng)).max(0.0);
+                    nus[p] =
+                        (cfg.init_mean.1 + cfg.init_std.1 * gauss(&mut rng)).max(-cfg.mu);
+                }
+                let mut t = 0.0f64;
+                let mut views = views;
+                for (si, time) in times.iter().enumerate() {
+                    // Advance all particles to this snapshot time.
+                    while t < time - 1e-12 {
+                        let dt = cfg.dt.min(time - t);
+                        let sq_dt = dt.sqrt();
+                        for p in 0..count {
+                            let q = qs[p];
+                            let nu = nus[p];
+                            // Empty-queue convention: the *drift* cannot
+                            // push the queue below empty (sticky wall,
+                            // matching the PDE's blocked advective flux);
+                            // only the noise reflects (zero-flux
+                            // diffusion).
+                            let q_det = (q + nu * dt).max(0.0);
+                            let mut q_new = q_det + sigma * sq_dt * gauss(&mut rng);
+                            if q_new < 0.0 {
+                                q_new = -q_new;
+                            }
+                            let g = law.g(q, nu + cfg.mu);
+                            let mut nu_new = nu + g * dt;
+                            if nu_new < -cfg.mu {
+                                nu_new = -cfg.mu; // λ >= 0
+                            }
+                            qs[p] = q_new;
+                            nus[p] = nu_new;
+                        }
+                        t += dt;
+                    }
+                    let (q_out, nu_out) = &mut views[si];
+                    q_out.copy_from_slice(&qs);
+                    nu_out.copy_from_slice(&nus);
+                }
+            });
+        }
+    })
+    .map_err(|_| NumericsError::NoConvergence {
+        context: "simulate_ensemble: worker panicked",
+        iterations: 0,
+    })?;
+    Ok(snaps)
+}
+
+/// Standard-normal sample via Box–Muller (avoids a rand_distr
+/// dependency).
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpk_congestion::LinearExp;
+
+    fn cfg() -> McConfig {
+        McConfig {
+            mu: 5.0,
+            sigma2: 0.3,
+            n_particles: 20_000,
+            dt: 2e-3,
+            seed: 42,
+            threads: 4,
+            init_mean: (8.0, -1.0),
+            init_std: (1.0, 0.5),
+        }
+    }
+
+    #[test]
+    fn snapshots_have_all_particles() {
+        let law = LinearExp::new(1.0, 0.5, 10.0);
+        let snaps = simulate_ensemble(&law, &cfg(), &[0.5, 1.0]).unwrap();
+        assert_eq!(snaps.len(), 2);
+        for s in &snaps {
+            assert_eq!(s.q.len(), 20_000);
+            assert!(s.q.iter().all(|&q| q >= 0.0), "queue must stay non-negative");
+            assert!(s.nu.iter().all(|&nu| nu >= -5.0), "λ must stay non-negative");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let law = LinearExp::new(1.0, 0.5, 10.0);
+        let mut c = cfg();
+        c.n_particles = 2000;
+        let a = simulate_ensemble(&law, &c, &[1.0]).unwrap();
+        let b = simulate_ensemble(&law, &c, &[1.0]).unwrap();
+        assert_eq!(a[0].q, b[0].q);
+        assert_eq!(a[0].nu, b[0].nu);
+    }
+
+    #[test]
+    fn different_thread_counts_agree_statistically() {
+        // Chunk boundaries shift with the thread count, so individual
+        // particles differ; ensemble statistics must not.
+        let law = LinearExp::new(1.0, 0.5, 10.0);
+        let mut c1 = cfg();
+        c1.n_particles = 20_000;
+        c1.threads = 2;
+        let mut c2 = c1.clone();
+        c2.threads = 5;
+        let a = simulate_ensemble(&law, &c1, &[1.0]).unwrap();
+        let b = simulate_ensemble(&law, &c2, &[1.0]).unwrap();
+        assert!((a[0].mean_q() - b[0].mean_q()).abs() < 0.05);
+        assert!((a[0].var_q() - b[0].var_q()).abs() < 0.1);
+    }
+
+    #[test]
+    fn mean_tracks_fluid_for_small_noise() {
+        let law = LinearExp::new(1.0, 0.5, 10.0);
+        let mut c = cfg();
+        c.sigma2 = 1e-4;
+        c.init_std = (0.05, 0.02);
+        let snaps = simulate_ensemble(&law, &c, &[2.0]).unwrap();
+        // Fluid reference from (8, λ=4): increase phase, q(t) dips:
+        // q(2) = 8 + (4-5)*2 + 0.5*1*4 = 8 - 2 + 2 = 8; λ(2) = 6 → ν = 1.
+        let s = &snaps[0];
+        assert!((s.mean_q() - 8.0).abs() < 0.1, "mean q {}", s.mean_q());
+        assert!((s.mean_nu() - 1.0).abs() < 0.1, "mean ν {}", s.mean_nu());
+    }
+
+    #[test]
+    fn variance_grows_with_sigma() {
+        let law = LinearExp::new(1.0, 0.5, 10.0);
+        let mut lo = cfg();
+        lo.sigma2 = 0.05;
+        let mut hi = cfg();
+        hi.sigma2 = 1.0;
+        let a = simulate_ensemble(&law, &lo, &[3.0]).unwrap();
+        let b = simulate_ensemble(&law, &hi, &[3.0]).unwrap();
+        assert!(
+            b[0].var_q() > a[0].var_q(),
+            "var {} vs {}",
+            a[0].var_q(),
+            b[0].var_q()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let law = LinearExp::standard();
+        let mut c = cfg();
+        c.n_particles = 0;
+        assert!(simulate_ensemble(&law, &c, &[1.0]).is_err());
+        let mut c2 = cfg();
+        c2.dt = 0.0;
+        assert!(simulate_ensemble(&law, &c2, &[1.0]).is_err());
+        assert!(simulate_ensemble(&law, &cfg(), &[]).is_err());
+        assert!(simulate_ensemble(&law, &cfg(), &[1.0, 0.5]).is_err());
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| gauss(&mut rng)).collect();
+        let m = fpk_numerics::stats::mean(&xs);
+        let v = fpk_numerics::stats::variance(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic fluid approximation of adaptively controlled queues —
+//! the Bolot–Shankar [BoSh 90] baseline the paper compares against.
+//!
+//! The fluid model couples
+//!
+//! ```text
+//! dQ/dt = Λ(t) − μ          (clamped so Q ≥ 0)
+//! dλ_i/dt = g_i(Q, λ_i)      (one law per source, Λ = Σ λ_i)
+//! ```
+//!
+//! Section 3 of the paper explains why this coupling is only valid for
+//! *deterministic* Q — the Fokker–Planck crate (`fpk-core`) supplies the
+//! stochastic treatment. The fluid model remains the right tool for the
+//! characteristic curves of the σ² = 0 hyperbolic limit (Section 5), and
+//! everything in this crate is exactly that machinery:
+//!
+//! * [`single`] — one source: trajectories Q(t), λ(t).
+//! * [`multi`] — N heterogeneous sources sharing one queue.
+//! * [`phase`] — the (q, ν) phase plane: drift quadrants (Figure 2),
+//!   characteristic tracing, spiral section crossings (Figure 3).
+//! * [`theorem1`] — certified convergence checks combining the analytic
+//!   return map of `fpk-congestion::theory` with numerical integration.
+//! * [`delay`] — delayed feedback (Section 7): DDE integration, limit
+//!   cycle detection, per-source throughput under heterogeneous delays.
+//! * [`events`] — event-driven Dormand–Prince tracer resolving every
+//!   switching-surface crossing to ~1e-12 (the accuracy reference).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod events;
+pub mod multi;
+pub mod phase;
+pub mod single;
+pub mod theorem1;
+
+pub use single::{FluidParams, FluidTrajectory};

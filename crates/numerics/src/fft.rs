@@ -1,0 +1,267 @@
+//! Radix-2 complex FFT and power spectra.
+//!
+//! Used by the oscillation analysis (`crate::signal`) to estimate the
+//! dominant period of delayed-feedback limit cycles from queue traces.
+
+use crate::{NumericsError, Result};
+
+/// A complex number stored as `(re, im)`. Kept as a plain tuple struct so
+/// no external complex crate is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Squared magnitude.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn mul(self, o: Self) -> Self {
+        Self {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    fn add(self, o: Self) -> Self {
+        Self {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    fn sub(self, o: Self) -> Self {
+        Self {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `inverse = true` computes the unnormalised inverse transform; divide by
+/// `n` afterwards to invert exactly (see [`ifft`]).
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] unless `data.len()` is a power of
+/// two `>= 2`.
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = data.len();
+    if n < 2 || !n.is_power_of_two() {
+        return Err(NumericsError::InvalidParameter {
+            context: "fft: length must be a power of two >= 2",
+        });
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real signal, zero-padding to the next power of two.
+/// Returns the complex spectrum of length `n_padded`.
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] for signals shorter than 2 samples.
+pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex>> {
+    if signal.len() < 2 {
+        return Err(NumericsError::InvalidParameter {
+            context: "fft_real: need >= 2 samples",
+        });
+    }
+    let n = signal.len().next_power_of_two();
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    data.resize(n, Complex::default());
+    fft_in_place(&mut data, false)?;
+    Ok(data)
+}
+
+/// Inverse FFT (normalised): recovers the signal passed to
+/// [`fft_in_place`]`(…, false)`.
+///
+/// # Errors
+/// Same length requirements as [`fft_in_place`].
+pub fn ifft(data: &mut [Complex]) -> Result<()> {
+    fft_in_place(data, true)?;
+    let n = data.len() as f64;
+    for c in data.iter_mut() {
+        c.re /= n;
+        c.im /= n;
+    }
+    Ok(())
+}
+
+/// One-sided power spectrum of a real signal sampled at interval `dt`,
+/// after removing the mean (so the DC bin does not mask oscillations).
+/// Returns `(frequencies, power)` of length `n/2`.
+///
+/// # Errors
+/// Propagates [`fft_real`] errors; also rejects `dt <= 0`.
+pub fn power_spectrum(signal: &[f64], dt: f64) -> Result<(Vec<f64>, Vec<f64>)> {
+    if !(dt > 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            context: "power_spectrum: dt must be positive",
+        });
+    }
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    let centred: Vec<f64> = signal.iter().map(|x| x - mean).collect();
+    let spec = fft_real(&centred)?;
+    let n = spec.len();
+    let df = 1.0 / (n as f64 * dt);
+    let half = n / 2;
+    let freqs: Vec<f64> = (0..half).map(|k| k as f64 * df).collect();
+    let power: Vec<f64> = spec[..half].iter().map(|c| c.norm_sq() / n as f64).collect();
+    Ok((freqs, power))
+}
+
+/// Frequency of the largest non-DC peak in the power spectrum; `None` when
+/// the spectrum is flat (constant signal).
+///
+/// # Errors
+/// Propagates [`power_spectrum`] errors.
+pub fn dominant_frequency(signal: &[f64], dt: f64) -> Result<Option<f64>> {
+    let (freqs, power) = power_spectrum(signal, dt)?;
+    let mut best: Option<(f64, f64)> = None;
+    for (f, p) in freqs.iter().zip(power.iter()).skip(1) {
+        if best.is_none_or(|(_, bp)| *p > bp) {
+            best = Some((*f, *p));
+        }
+    }
+    match best {
+        Some((f, p)) if p > 1e-12 => Ok(Some(f)),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn fft_roundtrip() {
+        let orig: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut data = orig.clone();
+        fft_in_place(&mut data, false).unwrap();
+        ifft(&mut data).unwrap();
+        for (a, b) in data.iter().zip(orig.iter()) {
+            assert!(approx_eq(a.re, b.re, 1e-12, 1e-12));
+            assert!(approx_eq(a.im, b.im, 1e-12, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut data, false).unwrap();
+        for c in &data {
+            assert!(approx_eq(c.re, 1.0, 1e-12, 1e-12));
+            assert!(approx_eq(c.im, 0.0, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::default(); 6];
+        assert!(fft_in_place(&mut data, false).is_err());
+        let mut one = vec![Complex::default(); 1];
+        assert!(fft_in_place(&mut one, false).is_err());
+    }
+
+    #[test]
+    fn fft_pure_tone_lands_in_right_bin() {
+        // cos(2π·k0·n/N) puts energy in bins k0 and N-k0.
+        let n = 64;
+        let k0 = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal).unwrap();
+        let mags: Vec<f64> = spec.iter().map(|c| c.norm_sq().sqrt()).collect();
+        let max_bin = mags
+            .iter()
+            .enumerate()
+            .take(n / 2)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_bin, k0);
+    }
+
+    #[test]
+    fn dominant_frequency_of_sine() {
+        let dt = 0.01;
+        let f0 = 2.0; // Hz
+        let signal: Vec<f64> = (0..1024)
+            .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 * dt).sin() + 3.0)
+            .collect();
+        let f = dominant_frequency(&signal, dt).unwrap().unwrap();
+        assert!((f - f0).abs() < 0.2, "f={f}");
+    }
+
+    #[test]
+    fn dominant_frequency_of_constant_is_none() {
+        let signal = vec![5.0; 128];
+        assert!(dominant_frequency(&signal, 0.1).unwrap().is_none());
+    }
+
+    #[test]
+    fn power_spectrum_rejects_bad_dt() {
+        assert!(power_spectrum(&[1.0, 2.0, 3.0, 4.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn parseval_energy_check() {
+        let signal: Vec<f64> = (0..32).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let spec = fft_real(&signal).unwrap();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / spec.len() as f64;
+        assert!(approx_eq(time_energy, freq_energy, 1e-10, 1e-10));
+    }
+}

@@ -1,0 +1,250 @@
+//! Uniform cell-centred grids for finite-volume discretisations.
+//!
+//! The Fokker–Planck solver in `fpk-core` discretises the joint density
+//! f(t, q, ν) on a rectangular domain [0, q_max] × [ν_min, ν_max]. These
+//! types keep the geometry bookkeeping (cell centres, faces, indexing into
+//! a flat row-major buffer) in one audited place.
+
+use crate::{NumericsError, Result};
+
+/// A uniform one-dimensional cell-centred grid over `[lo, hi]`.
+///
+/// Cell `i` (0-based, `i < n`) occupies `[lo + i·Δ, lo + (i+1)·Δ]` and has
+/// its centre at `lo + (i + ½)·Δ` where `Δ = (hi − lo)/n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid1d {
+    lo: f64,
+    hi: f64,
+    n: usize,
+    dx: f64,
+}
+
+impl Grid1d {
+    /// Create a grid with `n` cells spanning `[lo, hi]`.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::InvalidParameter`] when `n == 0`,
+    /// `hi <= lo`, or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(NumericsError::InvalidParameter {
+                context: "Grid1d: n must be positive",
+            });
+        }
+        if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+            return Err(NumericsError::InvalidParameter {
+                context: "Grid1d: bounds must be finite with hi > lo",
+            });
+        }
+        let dx = (hi - lo) / n as f64;
+        Ok(Self { lo, hi, n, dx })
+    }
+
+    /// Lower bound of the domain.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the domain.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cell width Δ.
+    #[must_use]
+    pub fn dx(&self) -> f64 {
+        self.dx
+    }
+
+    /// Centre of cell `i`.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `i >= n`.
+    #[must_use]
+    pub fn center(&self, i: usize) -> f64 {
+        debug_assert!(i < self.n);
+        self.lo + (i as f64 + 0.5) * self.dx
+    }
+
+    /// Position of face `i` (there are `n + 1` faces; face 0 is `lo`).
+    #[must_use]
+    pub fn face(&self, i: usize) -> f64 {
+        debug_assert!(i <= self.n);
+        self.lo + i as f64 * self.dx
+    }
+
+    /// All cell centres as a freshly allocated vector.
+    #[must_use]
+    pub fn centers(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.center(i)).collect()
+    }
+
+    /// Index of the cell containing `x`, clamped into `[0, n-1]` so that
+    /// queries at or slightly beyond the boundary resolve to the nearest
+    /// boundary cell. Useful for depositing Monte-Carlo samples.
+    #[must_use]
+    pub fn locate(&self, x: f64) -> usize {
+        if x <= self.lo {
+            return 0;
+        }
+        let raw = ((x - self.lo) / self.dx) as usize;
+        raw.min(self.n - 1)
+    }
+}
+
+/// A uniform two-dimensional cell-centred grid, row-major in the *second*
+/// axis: the flat index of cell `(i, j)` is `i * ny + j` where `i` indexes
+/// the first (q) axis and `j` the second (ν) axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2d {
+    /// Grid along the first axis (queue length q in `fpk-core`).
+    pub x: Grid1d,
+    /// Grid along the second axis (queue growth rate ν in `fpk-core`).
+    pub y: Grid1d,
+}
+
+impl Grid2d {
+    /// Create a 2-D product grid from two 1-D grids.
+    #[must_use]
+    pub fn new(x: Grid1d, y: Grid1d) -> Self {
+        Self { x, y }
+    }
+
+    /// Total number of cells `nx × ny`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.n() * self.y.n()
+    }
+
+    /// Whether the grid has zero cells (cannot happen for validly
+    /// constructed grids; provided for clippy's `len_without_is_empty`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat row-major index of cell `(i, j)`.
+    #[must_use]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.x.n() && j < self.y.n());
+        i * self.y.n() + j
+    }
+
+    /// Cell-centre coordinates of cell `(i, j)`.
+    #[must_use]
+    pub fn center(&self, i: usize, j: usize) -> (f64, f64) {
+        (self.x.center(i), self.y.center(j))
+    }
+
+    /// Cell area Δx·Δy.
+    #[must_use]
+    pub fn cell_area(&self) -> f64 {
+        self.x.dx() * self.y.dx()
+    }
+
+    /// Sum of `field` (a flat row-major cell array) times the cell area —
+    /// the total mass of a density sampled on this grid.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::DimensionMismatch`] when `field.len()`
+    /// differs from `self.len()`.
+    pub fn mass(&self, field: &[f64]) -> Result<f64> {
+        if field.len() != self.len() {
+            return Err(NumericsError::DimensionMismatch {
+                context: "Grid2d::mass: field length != nx*ny",
+            });
+        }
+        Ok(field.iter().sum::<f64>() * self.cell_area())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn grid1d_basic_geometry() {
+        let g = Grid1d::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(g.n(), 5);
+        assert!(approx_eq(g.dx(), 2.0, 1e-15, 0.0));
+        assert!(approx_eq(g.center(0), 1.0, 1e-15, 0.0));
+        assert!(approx_eq(g.center(4), 9.0, 1e-15, 0.0));
+        assert!(approx_eq(g.face(0), 0.0, 0.0, 1e-15));
+        assert!(approx_eq(g.face(5), 10.0, 1e-15, 0.0));
+    }
+
+    #[test]
+    fn grid1d_rejects_bad_input() {
+        assert!(Grid1d::new(0.0, 1.0, 0).is_err());
+        assert!(Grid1d::new(1.0, 1.0, 4).is_err());
+        assert!(Grid1d::new(2.0, 1.0, 4).is_err());
+        assert!(Grid1d::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn grid1d_locate_clamps() {
+        let g = Grid1d::new(0.0, 1.0, 10).unwrap();
+        assert_eq!(g.locate(-5.0), 0);
+        assert_eq!(g.locate(0.05), 0);
+        assert_eq!(g.locate(0.95), 9);
+        assert_eq!(g.locate(1.0), 9);
+        assert_eq!(g.locate(99.0), 9);
+    }
+
+    #[test]
+    fn grid1d_locate_interior() {
+        let g = Grid1d::new(-1.0, 1.0, 4).unwrap();
+        // cells: [-1,-0.5), [-0.5,0), [0,0.5), [0.5,1]
+        assert_eq!(g.locate(-0.75), 0);
+        assert_eq!(g.locate(-0.25), 1);
+        assert_eq!(g.locate(0.25), 2);
+        assert_eq!(g.locate(0.75), 3);
+    }
+
+    #[test]
+    fn grid2d_indexing_roundtrip() {
+        let g = Grid2d::new(
+            Grid1d::new(0.0, 1.0, 3).unwrap(),
+            Grid1d::new(0.0, 1.0, 4).unwrap(),
+        );
+        assert_eq!(g.len(), 12);
+        let mut seen = vec![false; 12];
+        for i in 0..3 {
+            for j in 0..4 {
+                let k = g.idx(i, j);
+                assert!(!seen[k], "duplicate flat index");
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn grid2d_mass_of_uniform_density() {
+        let g = Grid2d::new(
+            Grid1d::new(0.0, 2.0, 10).unwrap(),
+            Grid1d::new(-1.0, 1.0, 20).unwrap(),
+        );
+        // density 0.25 over area 4 => mass 1
+        let field = vec![0.25; g.len()];
+        assert!(approx_eq(g.mass(&field).unwrap(), 1.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn grid2d_mass_rejects_wrong_len() {
+        let g = Grid2d::new(
+            Grid1d::new(0.0, 1.0, 2).unwrap(),
+            Grid1d::new(0.0, 1.0, 2).unwrap(),
+        );
+        assert!(g.mass(&[0.0; 3]).is_err());
+    }
+}

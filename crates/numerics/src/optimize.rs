@@ -1,0 +1,224 @@
+//! Scalar minimisation: golden-section search and Brent's parabolic
+//! method.
+//!
+//! Used by the experiment harnesses for fitting (e.g. locating the
+//! delay at which limit-cycle amplitude crosses a threshold, matching
+//! decay envelopes) and by the congestion theory for worst-case
+//! contraction searches.
+
+use crate::{NumericsError, Result};
+
+/// Golden-section search for a minimum of `f` on `[a, b]`. Linear
+/// convergence, no derivatives, bullet-proof for unimodal functions.
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] when `b <= a` or `tol <= 0`.
+pub fn golden_section<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    if !(b > a) || !(tol > 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            context: "golden_section: need b > a and tol > 0",
+        });
+    }
+    let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..max_iter {
+        if (b - a).abs() < tol {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Brent's minimisation (parabolic interpolation with golden-section
+/// safeguards) on `[a, b]`. Superlinear for smooth unimodal functions.
+///
+/// Returns `(x_min, f(x_min))`.
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] for a degenerate interval;
+/// [`NumericsError::NoConvergence`] when `max_iter` runs out before the
+/// interval shrinks to `tol` (very flat functions).
+pub fn brent_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<(f64, f64)> {
+    if !(b > a) || !(tol > 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            context: "brent_min: need b > a and tol > 0",
+        });
+    }
+    const CGOLD: f64 = 0.381_966_011_250_105;
+    let (mut lo, mut hi) = (a, b);
+    let mut x = lo + CGOLD * (hi - lo);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+    for _ in 0..max_iter {
+        let m = 0.5 * (lo + hi);
+        let tol1 = tol * x.abs() + 1e-12;
+        let tol2 = 2.0 * tol1;
+        if (x - m).abs() <= tol2 - 0.5 * (hi - lo) {
+            return Ok((x, fx));
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Parabolic fit through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let mut q = (x - v) * (fx - fw);
+            let mut p = (x - v) * q - (x - w) * r;
+            q = 2.0 * (q - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let e_old = e;
+            e = d;
+            if p.abs() < (0.5 * q * e_old).abs() && p > q * (lo - x) && p < q * (hi - x) {
+                d = p / q;
+                let u = x + d;
+                if u - lo < tol2 || hi - u < tol2 {
+                    d = if m > x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x < m { hi - x } else { lo - x };
+            d = CGOLD * e;
+        }
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else if d > 0.0 {
+            x + tol1
+        } else {
+            x - tol1
+        };
+        let fu = f(u);
+        if fu <= fx {
+            if u < x {
+                hi = x;
+            } else {
+                lo = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                lo = u;
+            } else {
+                hi = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        context: "brent_min",
+        iterations: max_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn golden_finds_parabola_minimum() {
+        let x = golden_section(|x| (x - 2.5) * (x - 2.5) + 1.0, 0.0, 10.0, 1e-8, 200).unwrap();
+        assert!(approx_eq(x, 2.5, 1e-6, 1e-6), "x = {x}");
+    }
+
+    #[test]
+    fn golden_rejects_bad_interval() {
+        assert!(golden_section(|x| x, 1.0, 1.0, 1e-8, 100).is_err());
+        assert!(golden_section(|x| x, 0.0, 1.0, 0.0, 100).is_err());
+    }
+
+    #[test]
+    fn brent_min_parabola() {
+        let (x, fx) = brent_min(|x| 3.0 * (x + 1.2) * (x + 1.2) - 4.0, -10.0, 10.0, 1e-10, 200)
+            .unwrap();
+        assert!(approx_eq(x, -1.2, 1e-7, 1e-7), "x = {x}");
+        assert!(approx_eq(fx, -4.0, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn brent_min_transcendental() {
+        // min of x·e^x on [-5, 0] is at x = -1 with value -1/e.
+        let (x, fx) = brent_min(|x: f64| x * x.exp(), -5.0, 0.0, 1e-10, 200).unwrap();
+        assert!(approx_eq(x, -1.0, 1e-6, 1e-6), "x = {x}");
+        assert!(approx_eq(fx, -(-1.0f64).exp().recip().recip() * (-1.0f64).exp() * 1.0, 1.0, 1.0));
+        assert!((fx + (1.0f64 / std::f64::consts::E)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_min_beats_golden_budget() {
+        // Brent should need far fewer evaluations: use a counting closure.
+        let mut count_b = 0usize;
+        let _ = brent_min(
+            |x| {
+                count_b += 1;
+                (x - 3.0) * (x - 3.0)
+            },
+            0.0,
+            10.0,
+            1e-10,
+            200,
+        )
+        .unwrap();
+        let mut count_g = 0usize;
+        let _ = golden_section(
+            |x| {
+                count_g += 1;
+                (x - 3.0) * (x - 3.0)
+            },
+            0.0,
+            10.0,
+            1e-10,
+            200,
+        )
+        .unwrap();
+        assert!(count_b < count_g, "brent {count_b} vs golden {count_g}");
+    }
+}

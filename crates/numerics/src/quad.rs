@@ -1,0 +1,185 @@
+//! Numerical quadrature: trapezoid, Simpson, adaptive Simpson.
+//!
+//! Used for normalising densities, computing moments of the Fokker–Planck
+//! marginals, and averaging throughput over limit cycles.
+
+use crate::{NumericsError, Result};
+
+/// Composite trapezoid rule over tabulated samples `ys` on abscissae `xs`
+/// (need not be uniform).
+///
+/// # Errors
+/// [`NumericsError::DimensionMismatch`] when lengths differ or fewer than
+/// two samples are supplied.
+pub fn trapezoid(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return Err(NumericsError::DimensionMismatch {
+            context: "trapezoid: need equal-length tables with >= 2 samples",
+        });
+    }
+    let mut acc = 0.0;
+    for i in 0..xs.len() - 1 {
+        acc += 0.5 * (xs[i + 1] - xs[i]) * (ys[i] + ys[i + 1]);
+    }
+    Ok(acc)
+}
+
+/// Composite trapezoid for uniformly spaced samples with spacing `dx`.
+///
+/// # Errors
+/// [`NumericsError::DimensionMismatch`] for fewer than two samples.
+pub fn trapezoid_uniform(ys: &[f64], dx: f64) -> Result<f64> {
+    if ys.len() < 2 {
+        return Err(NumericsError::DimensionMismatch {
+            context: "trapezoid_uniform: need >= 2 samples",
+        });
+    }
+    let interior: f64 = ys[1..ys.len() - 1].iter().sum();
+    Ok(dx * (0.5 * (ys[0] + ys[ys.len() - 1]) + interior))
+}
+
+/// Composite Simpson rule for uniformly spaced samples (odd sample count,
+/// i.e. an even number of intervals).
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] unless `ys.len()` is odd and `>= 3`.
+pub fn simpson_uniform(ys: &[f64], dx: f64) -> Result<f64> {
+    let n = ys.len();
+    if n < 3 || n % 2 == 0 {
+        return Err(NumericsError::InvalidParameter {
+            context: "simpson_uniform: need an odd number of samples >= 3",
+        });
+    }
+    let mut acc = ys[0] + ys[n - 1];
+    for (i, y) in ys.iter().enumerate().take(n - 1).skip(1) {
+        acc += if i % 2 == 1 { 4.0 * y } else { 2.0 * y };
+    }
+    Ok(acc * dx / 3.0)
+}
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]` to absolute tolerance
+/// `tol`.
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] when `b <= a` or `tol <= 0`;
+/// [`NumericsError::NoConvergence`] when the recursion depth budget is
+/// exhausted (extremely pathological integrands).
+pub fn adaptive_simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result<f64> {
+    if !(b > a) {
+        return Err(NumericsError::InvalidParameter {
+            context: "adaptive_simpson: need b > a",
+        });
+    }
+    if !(tol > 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            context: "adaptive_simpson: need tol > 0",
+        });
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    recurse(&mut f, a, b, fa, fm, fb, whole, tol, 60)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse<F: FnMut(f64) -> f64>(
+    f: &mut F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: usize,
+) -> Result<f64> {
+    if depth == 0 {
+        return Err(NumericsError::NoConvergence {
+            context: "adaptive_simpson: max depth",
+            iterations: 60,
+        });
+    }
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+    let right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+    let delta = left + right - whole;
+    if delta.abs() <= 15.0 * tol {
+        // Richardson correction gives one extra order.
+        Ok(left + right + delta / 15.0)
+    } else {
+        let l = recurse(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)?;
+        let r = recurse(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)?;
+        Ok(l + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        let xs = [0.0, 0.3, 1.0, 2.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        // integral of 2x+1 over [0,2] = 4 + 2 = 6
+        assert!(approx_eq(trapezoid(&xs, &ys).unwrap(), 6.0, 1e-14, 0.0));
+    }
+
+    #[test]
+    fn trapezoid_uniform_matches_general() {
+        let n = 101;
+        let dx = 0.01;
+        let ys: Vec<f64> = (0..n).map(|i| ((i as f64) * dx).sin()).collect();
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * dx).collect();
+        let a = trapezoid(&xs, &ys).unwrap();
+        let b = trapezoid_uniform(&ys, dx).unwrap();
+        assert!(approx_eq(a, b, 1e-13, 1e-13));
+    }
+
+    #[test]
+    fn simpson_quartic_convergence() {
+        // ∫0^1 x^4 dx = 0.2; Simpson error ~ h^4.
+        let eval = |n: usize| {
+            let dx = 1.0 / (n - 1) as f64;
+            let ys: Vec<f64> = (0..n).map(|i| (i as f64 * dx).powi(4)).collect();
+            simpson_uniform(&ys, dx).unwrap()
+        };
+        let e_coarse = (eval(11) - 0.2).abs();
+        let e_fine = (eval(21) - 0.2).abs();
+        assert!(e_fine < e_coarse / 10.0, "{e_coarse} -> {e_fine}");
+    }
+
+    #[test]
+    fn simpson_rejects_even_samples() {
+        assert!(simpson_uniform(&[0.0, 1.0], 1.0).is_err());
+        assert!(simpson_uniform(&[0.0, 1.0, 2.0, 3.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn adaptive_simpson_smooth() {
+        let v = adaptive_simpson(|x: f64| x.exp(), 0.0, 1.0, 1e-12).unwrap();
+        assert!(approx_eq(v, std::f64::consts::E - 1.0, 1e-10, 1e-12));
+    }
+
+    #[test]
+    fn adaptive_simpson_peaked() {
+        // Narrow Gaussian: ∫ exp(-100 (x-0.5)^2) dx over [0,1] ≈ sqrt(pi/100).
+        let v = adaptive_simpson(|x: f64| (-100.0 * (x - 0.5) * (x - 0.5)).exp(), 0.0, 1.0, 1e-10)
+            .unwrap();
+        let exact = (std::f64::consts::PI / 100.0).sqrt();
+        assert!(approx_eq(v, exact, 1e-7, 1e-10), "{v} vs {exact}");
+    }
+
+    #[test]
+    fn adaptive_simpson_rejects_bad_args() {
+        assert!(adaptive_simpson(|x| x, 1.0, 0.0, 1e-6).is_err());
+        assert!(adaptive_simpson(|x| x, 0.0, 1.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The 2-D Fokker–Planck operator can be assembled once as a sparse matrix
+//! when the control law is frozen (linear in `f`); the CSR form is used by
+//! the steady-state power iteration and by ablation benchmarks comparing
+//! matrix-free versus assembled stepping.
+
+use crate::{NumericsError, Result};
+
+/// Triplet (COO) builder that sorts and deduplicates into CSR.
+#[derive(Debug, Clone, Default)]
+pub struct CooBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooBuilder {
+    /// Start building an `rows × cols` matrix.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Add `v` at `(i, j)`; duplicates are summed at build time.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] for out-of-range indices.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) -> Result<()> {
+        if i >= self.rows || j >= self.cols {
+            return Err(NumericsError::InvalidParameter {
+                context: "CooBuilder::push: index out of range",
+            });
+        }
+        self.entries.push((i, j, v));
+        Ok(())
+    }
+
+    /// Finish into CSR form, summing duplicate coordinates and dropping
+    /// exact zeros.
+    #[must_use]
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+        let mut iter = self.entries.into_iter().peekable();
+        while let Some((i, j, mut v)) = iter.next() {
+            while let Some(&(i2, j2, v2)) = iter.peek() {
+                if i2 == i && j2 == j {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if v != 0.0 {
+                col_idx.push(j);
+                values.push(v);
+                row_ptr[i + 1] += 1;
+            }
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Identity matrix of size `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            // push cannot fail for i < n
+            let _ = b.push(i, i, 1.0);
+        }
+        b.build()
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Read entry `(i, j)` (O(log nnz_row)); zero when not stored.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i >= self.rows {
+            return 0.0;
+        }
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `out = A x`.
+    ///
+    /// # Errors
+    /// [`NumericsError::DimensionMismatch`] when lengths disagree.
+    pub fn matvec(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || out.len() != self.rows {
+            return Err(NumericsError::DimensionMismatch {
+                context: "CsrMatrix::matvec",
+            });
+        }
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            out[i] = acc;
+        }
+        Ok(())
+    }
+
+    /// `out = out + s · A x` (fused update used by explicit time steppers).
+    ///
+    /// # Errors
+    /// [`NumericsError::DimensionMismatch`] when lengths disagree.
+    pub fn matvec_add_scaled(&self, s: f64, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || out.len() != self.rows {
+            return Err(NumericsError::DimensionMismatch {
+                context: "CsrMatrix::matvec_add_scaled",
+            });
+        }
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            out[i] += s * acc;
+        }
+        Ok(())
+    }
+
+    /// Row sums — for a transition/transport operator these should be the
+    /// column of ones mapped through the operator; used by conservation
+    /// audits.
+    #[must_use]
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.values[self.row_ptr[i]..self.row_ptr[i + 1]].iter().sum())
+            .collect()
+    }
+
+    /// Column sums — for a column-stochastic step operator (each column =
+    /// image of a unit mass) these must all be 1; used by the
+    /// Fokker–Planck operator's conservation audit.
+    #[must_use]
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for (_, j, v) in self.triplets() {
+            sums[j] += v;
+        }
+        sums
+    }
+
+    /// Iterate over stored entries as `(row, col, value)` triplets in
+    /// row-major order.
+    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            (self.row_ptr[i]..self.row_ptr[i + 1]).map(move |k| (i, self.col_idx[k], self.values[k]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn build_and_get() {
+        let mut b = CooBuilder::new(3, 3);
+        b.push(0, 0, 2.0).unwrap();
+        b.push(1, 2, -1.0).unwrap();
+        b.push(2, 1, 4.0).unwrap();
+        b.push(0, 0, 3.0).unwrap(); // duplicate, summed
+        let m = b.build();
+        assert_eq!(m.nnz(), 3);
+        assert!(approx_eq(m.get(0, 0), 5.0, 0.0, 0.0));
+        assert!(approx_eq(m.get(1, 2), -1.0, 0.0, 0.0));
+        assert!(approx_eq(m.get(2, 1), 4.0, 0.0, 0.0));
+        assert!(approx_eq(m.get(1, 1), 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn zeros_are_dropped() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 1.0).unwrap();
+        b.push(0, 0, -1.0).unwrap();
+        b.push(1, 1, 2.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn push_rejects_out_of_range() {
+        let mut b = CooBuilder::new(2, 2);
+        assert!(b.push(2, 0, 1.0).is_err());
+        assert!(b.push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let m = CsrMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut out = [0.0; 4];
+        m.matvec(&x, &mut out).unwrap();
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn matvec_small_dense_check() {
+        // [[1, 2], [3, 4]] * [5, 6] = [17, 39]
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 1.0).unwrap();
+        b.push(0, 1, 2.0).unwrap();
+        b.push(1, 0, 3.0).unwrap();
+        b.push(1, 1, 4.0).unwrap();
+        let m = b.build();
+        let mut out = [0.0; 2];
+        m.matvec(&[5.0, 6.0], &mut out).unwrap();
+        assert!(approx_eq(out[0], 17.0, 0.0, 0.0));
+        assert!(approx_eq(out[1], 39.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn matvec_add_scaled_accumulates() {
+        let m = CsrMatrix::identity(2);
+        let mut out = [1.0, 1.0];
+        m.matvec_add_scaled(0.5, &[2.0, 4.0], &mut out).unwrap();
+        assert!(approx_eq(out[0], 2.0, 0.0, 0.0));
+        assert!(approx_eq(out[1], 3.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn matvec_dimension_checks() {
+        let m = CsrMatrix::identity(3);
+        let mut out = [0.0; 3];
+        assert!(m.matvec(&[1.0, 2.0], &mut out).is_err());
+        let mut short = [0.0; 2];
+        assert!(m.matvec(&[1.0, 2.0, 3.0], &mut short).is_err());
+    }
+
+    #[test]
+    fn row_sums_conservation_style() {
+        // A Markov-like operator whose rows sum to 1.
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 0.9).unwrap();
+        b.push(0, 1, 0.1).unwrap();
+        b.push(1, 0, 0.4).unwrap();
+        b.push(1, 1, 0.6).unwrap();
+        let m = b.build();
+        for s in m.row_sums() {
+            assert!(approx_eq(s, 1.0, 1e-15, 0.0));
+        }
+    }
+}

@@ -1,0 +1,917 @@
+//! The discrete-event simulation engine: a single bottleneck FIFO queue
+//! fed by adaptive sources.
+//!
+//! Packet timeline for a flow with one-way propagation delay `p`:
+//!
+//! ```text
+//! send at t ──p──▶ arrival at queue ──wait+service──▶ departure ──p──▶ ack
+//! ```
+//!
+//! Rate sources additionally run a control loop: the bottleneck queue is
+//! observed every `update_interval`, the (stale) value arrives one
+//! propagation delay later, and the JRJ law is integrated over the
+//! interval (`source::rate_update`). Window sources are driven purely by
+//! acks carrying DECbit-style marks (queue above q̂ at packet arrival).
+
+use crate::event::{EventKind, EventQueue};
+use crate::source::{rate_update, window_on_ack, SourceSpec, SourceState};
+use fpk_congestion::decbit::QueueAverager;
+use fpk_numerics::{NumericsError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Bottleneck service-time distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Service {
+    /// Constant service time 1/μ.
+    Deterministic,
+    /// Exponential service times with rate μ (M/·/1-style variability).
+    Exponential,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Bottleneck service rate μ (packets/s).
+    pub mu: f64,
+    /// Service-time distribution.
+    pub service: Service,
+    /// Optional buffer limit (packets in system); `None` = infinite.
+    pub buffer: Option<u64>,
+    /// Simulated horizon (seconds).
+    pub t_end: f64,
+    /// Statistics (throughput, mean queue) ignore `[0, warmup)`.
+    pub warmup: f64,
+    /// Queue/rate trace sampling period.
+    pub sample_interval: f64,
+    /// RNG seed (the run is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.mu > 0.0 && self.t_end > 0.0 && self.sample_interval > 0.0) {
+            return Err(NumericsError::InvalidParameter {
+                context: "SimConfig: mu, t_end, sample_interval must be positive",
+            });
+        }
+        if !(0.0..self.t_end).contains(&self.warmup) {
+            return Err(NumericsError::InvalidParameter {
+                context: "SimConfig: warmup must lie in [0, t_end)",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-flow counters (collected after warm-up).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Packets handed to the network.
+    pub sent: u64,
+    /// Packets that completed service at the bottleneck.
+    pub delivered: u64,
+    /// Packets dropped at a full buffer.
+    pub dropped: u64,
+    /// Delivered / measurement window (packets per second).
+    pub throughput: f64,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Trace sample times.
+    pub trace_t: Vec<f64>,
+    /// Queue length at each sample.
+    pub trace_q: Vec<f64>,
+    /// Per-flow control state at each sample (λ for rate sources, window
+    /// for window sources): `trace_ctl[k][i]`.
+    pub trace_ctl: Vec<Vec<f64>>,
+    /// Per-flow counters.
+    pub flows: Vec<FlowStats>,
+    /// Time-averaged queue length after warm-up.
+    pub mean_queue: f64,
+    /// Aggregate delivered throughput after warm-up (packets/s).
+    pub total_throughput: f64,
+    /// Bottleneck utilisation estimate (`total_throughput / μ`).
+    pub utilization: f64,
+}
+
+/// Fault-injection knobs (random loss on the path to the bottleneck),
+/// in the spirit of the `--drop-chance` options network stacks ship for
+/// robustness testing.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that a packet is lost before reaching the queue.
+    /// Window flows receive a marked ack for the loss (drop-as-signal);
+    /// rate flows simply lose the packet.
+    pub loss_prob: f64,
+}
+
+/// Run the simulation without fault injection.
+///
+/// # Errors
+/// Configuration validation errors; also rejects an empty source list.
+pub fn run(config: &SimConfig, sources: &[SourceSpec]) -> Result<SimResult> {
+    run_with_faults(config, sources, &FaultConfig::default())
+}
+
+/// Run the simulation with fault injection.
+///
+/// # Errors
+/// Configuration validation errors; rejects an empty source list and
+/// `loss_prob` outside [0, 1).
+#[allow(clippy::too_many_lines)]
+pub fn run_with_faults(
+    config: &SimConfig,
+    sources: &[SourceSpec],
+    faults: &FaultConfig,
+) -> Result<SimResult> {
+    if !(0.0..1.0).contains(&faults.loss_prob) {
+        return Err(NumericsError::InvalidParameter {
+            context: "run_with_faults: loss_prob must lie in [0, 1)",
+        });
+    }
+    config.validate()?;
+    if sources.is_empty() {
+        return Err(NumericsError::InvalidParameter {
+            context: "run: need at least one source",
+        });
+    }
+    let n = sources.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ev = EventQueue::new();
+    let mut states: Vec<SourceState> = sources.iter().map(SourceSpec::initial_state).collect();
+    let mut flows = vec![FlowStats::default(); n];
+
+    // FIFO of (flow, marked) for packets in the system (head in service).
+    let mut fifo: VecDeque<(usize, bool)> = VecDeque::new();
+    let mut q_len: u64 = 0;
+    let mut server_busy = false;
+
+    // Time-weighted queue accumulation after warm-up.
+    let mut area = 0.0f64;
+    let mut last_change = config.warmup;
+
+    // Bootstrap events.
+    for (i, spec) in sources.iter().enumerate() {
+        match spec {
+            SourceSpec::Rate {
+                update_interval, ..
+            } => {
+                ev.push(0.0, EventKind::SendPacket { flow: i });
+                ev.push(*update_interval, EventKind::Observe { flow: i });
+            }
+            SourceSpec::OnOff { mean_on, .. } => {
+                ev.push(0.0, EventKind::SendPacket { flow: i });
+                if let SourceState::OnOff { chain_alive, .. } = &mut states[i] {
+                    *chain_alive = true;
+                }
+                // First ON sojourn; the toggle chain is self-rescheduling.
+                let _ = mean_on;
+                ev.push(0.0, EventKind::Toggle { flow: i });
+            }
+            SourceSpec::Window { w0, .. } | SourceSpec::Decbit { w0, .. } => {
+                // Initial burst of ⌊w0⌋ packets, spaced a hair apart so
+                // FIFO order is well-defined.
+                let burst = w0.max(1.0).floor() as u64;
+                match &mut states[i] {
+                    SourceState::Window { in_flight, .. }
+                    | SourceState::Decbit { in_flight, .. } => *in_flight = burst,
+                    SourceState::Rate { .. } | SourceState::OnOff { .. } => unreachable!(),
+                }
+                for k in 0..burst {
+                    ev.push(
+                        k as f64 * 1e-6 + spec.prop_delay(),
+                        EventKind::Arrival { flow: i },
+                    );
+                }
+                flows[i].sent += burst;
+            }
+        }
+    }
+    ev.push(0.0, EventKind::Sample);
+    // Router-side averaged queue for DECbit marking.
+    let mut averager = QueueAverager::new(0.0);
+    let any_decbit = sources
+        .iter()
+        .any(|s| matches!(s, SourceSpec::Decbit { .. }));
+
+    let service_time = |rng: &mut StdRng, cfg: &SimConfig| -> f64 {
+        match cfg.service {
+            Service::Deterministic => 1.0 / cfg.mu,
+            Service::Exponential => {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                -u.ln() / cfg.mu
+            }
+        }
+    };
+
+    let mut trace_t = Vec::new();
+    let mut trace_q = Vec::new();
+    let mut trace_ctl: Vec<Vec<f64>> = Vec::new();
+
+    while let Some(event) = ev.pop() {
+        let t = event.t;
+        if t > config.t_end {
+            break;
+        }
+        match event.kind {
+            EventKind::SendPacket { flow } => match (&sources[flow], &mut states[flow]) {
+                (
+                    SourceSpec::Rate {
+                        prop_delay,
+                        poisson,
+                        ..
+                    },
+                    SourceState::Rate { lambda },
+                ) => {
+                    let lam = lambda.max(1e-9);
+                    if t >= config.warmup {
+                        flows[flow].sent += 1;
+                    }
+                    ev.push(t + prop_delay, EventKind::Arrival { flow });
+                    let gap = if *poisson {
+                        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        -u.ln() / lam
+                    } else {
+                        1.0 / lam
+                    };
+                    ev.push(t + gap, EventKind::SendPacket { flow });
+                }
+                (
+                    SourceSpec::OnOff {
+                        peak_rate,
+                        prop_delay,
+                        ..
+                    },
+                    SourceState::OnOff { on, chain_alive },
+                ) => {
+                    if !*on {
+                        // Chain dies during the OFF phase; the next
+                        // toggle-to-ON starts a fresh one.
+                        *chain_alive = false;
+                        continue;
+                    }
+                    if t >= config.warmup {
+                        flows[flow].sent += 1;
+                    }
+                    ev.push(t + prop_delay, EventKind::Arrival { flow });
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    ev.push(t - u.ln() / peak_rate.max(1e-9), EventKind::SendPacket { flow });
+                }
+                _ => unreachable!("SendPacket for a window flow"),
+            },
+            EventKind::Toggle { flow } => {
+                let SourceSpec::OnOff {
+                    mean_on, mean_off, ..
+                } = &sources[flow]
+                else {
+                    unreachable!("Toggle for non-on-off flow")
+                };
+                let SourceState::OnOff { on, chain_alive } = &mut states[flow] else {
+                    unreachable!()
+                };
+                // Exponential sojourn in the phase we are *entering*; the
+                // bootstrap toggle at t = 0 enters the ON phase.
+                let entering_on = !*on || t == 0.0;
+                let sojourn_mean = if entering_on { *mean_on } else { *mean_off };
+                if t > 0.0 {
+                    *on = !*on;
+                }
+                if *on && !*chain_alive {
+                    *chain_alive = true;
+                    // First send a full exponential gap after the phase
+                    // starts — emitting at the toggle instant itself
+                    // would add one packet per ON period and bias the
+                    // mean rate upward.
+                    let SourceSpec::OnOff { peak_rate, .. } = &sources[flow] else {
+                        unreachable!()
+                    };
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    ev.push(t - u.ln() / peak_rate.max(1e-9), EventKind::SendPacket { flow });
+                }
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                ev.push(t - u.ln() * sojourn_mean.max(1e-9), EventKind::Toggle { flow });
+            }
+            EventKind::Arrival { flow } => {
+                // Random link loss (fault injection).
+                if faults.loss_prob > 0.0 && rng.gen::<f64>() < faults.loss_prob {
+                    if t >= config.warmup {
+                        flows[flow].dropped += 1;
+                    }
+                    if matches!(
+                        sources[flow],
+                        SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
+                    ) {
+                        ev.push(
+                            t + sources[flow].prop_delay(),
+                            EventKind::Ack { flow, marked: true },
+                        );
+                    }
+                    continue;
+                }
+                if let Some(cap) = config.buffer {
+                    if q_len >= cap {
+                        if t >= config.warmup {
+                            flows[flow].dropped += 1;
+                        }
+                        // A dropped packet of a window flow still frees
+                        // its in-flight slot (we model drop-as-mark: the
+                        // "ack" returns marked so the source reacts).
+                        if matches!(
+                            sources[flow],
+                            SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
+                        ) {
+                            ev.push(
+                                t + sources[flow].prop_delay(),
+                                EventKind::Ack { flow, marked: true },
+                            );
+                        }
+                        continue;
+                    }
+                }
+                // Mark policy: instantaneous queue for Rate/Window flows,
+                // regeneration-cycle averaged queue for DECbit flows.
+                let marked = if matches!(sources[flow], SourceSpec::Decbit { .. }) {
+                    averager.congestion_bit(t, sources[flow].q_hat())
+                } else {
+                    q_len as f64 > sources[flow].q_hat()
+                };
+                if t >= config.warmup {
+                    area += q_len as f64 * (t - last_change);
+                    last_change = t;
+                } else {
+                    last_change = t.max(config.warmup);
+                }
+                fifo.push_back((flow, marked));
+                q_len += 1;
+                if any_decbit {
+                    averager.observe(t, q_len as f64);
+                }
+                if !server_busy {
+                    server_busy = true;
+                    ev.push(t + service_time(&mut rng, config), EventKind::Departure);
+                }
+            }
+            EventKind::Departure => {
+                let (flow, marked) = fifo.pop_front().expect("departure from empty queue");
+                if t >= config.warmup {
+                    area += q_len as f64 * (t - last_change);
+                    last_change = t;
+                    flows[flow].delivered += 1;
+                } else {
+                    last_change = t.max(config.warmup);
+                }
+                q_len -= 1;
+                if any_decbit {
+                    averager.observe(t, q_len as f64);
+                }
+                if matches!(
+                    sources[flow],
+                    SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
+                ) {
+                    ev.push(t + sources[flow].prop_delay(), EventKind::Ack { flow, marked });
+                }
+                if q_len > 0 {
+                    ev.push(t + service_time(&mut rng, config), EventKind::Departure);
+                } else {
+                    server_busy = false;
+                }
+            }
+            EventKind::Observe { flow } => {
+                let SourceSpec::Rate {
+                    update_interval,
+                    prop_delay,
+                    ..
+                } = &sources[flow]
+                else {
+                    unreachable!("Observe for non-rate flow");
+                };
+                ev.push(
+                    t + prop_delay,
+                    EventKind::Feedback {
+                        flow,
+                        observed_queue: q_len,
+                    },
+                );
+                ev.push(t + update_interval, EventKind::Observe { flow });
+            }
+            EventKind::Feedback {
+                flow,
+                observed_queue,
+            } => {
+                let SourceSpec::Rate {
+                    law,
+                    update_interval,
+                    ..
+                } = &sources[flow]
+                else {
+                    unreachable!()
+                };
+                let SourceState::Rate { lambda } = &mut states[flow] else {
+                    unreachable!()
+                };
+                *lambda = rate_update(law, *lambda, observed_queue as f64, *update_interval);
+            }
+            EventKind::Ack { flow, marked } => {
+                let (allowed, in_flight_ref) = match (&sources[flow], &mut states[flow]) {
+                    (SourceSpec::Window { aimd, .. }, state) => {
+                        window_on_ack(aimd, state, marked);
+                        let SourceState::Window {
+                            window, in_flight, ..
+                        } = state
+                        else {
+                            unreachable!()
+                        };
+                        (window.floor().max(1.0) as u64, in_flight)
+                    }
+                    (
+                        SourceSpec::Decbit { .. },
+                        SourceState::Decbit { ctl, in_flight },
+                    ) => {
+                        *in_flight = in_flight.saturating_sub(1);
+                        let _ = ctl.on_ack(marked);
+                        (ctl.window().floor().max(1.0) as u64, in_flight)
+                    }
+                    _ => unreachable!("Ack for a rate flow"),
+                };
+                let mut to_send = allowed.saturating_sub(*in_flight_ref);
+                while to_send > 0 {
+                    *in_flight_ref += 1;
+                    if t >= config.warmup {
+                        flows[flow].sent += 1;
+                    }
+                    ev.push(t + sources[flow].prop_delay(), EventKind::Arrival { flow });
+                    to_send -= 1;
+                }
+            }
+            EventKind::Sample => {
+                trace_t.push(t);
+                trace_q.push(q_len as f64);
+                trace_ctl.push(
+                    states
+                        .iter()
+                        .map(|s| match s {
+                            SourceState::Rate { lambda } => *lambda,
+                            SourceState::Window { window, .. } => *window,
+                            SourceState::Decbit { ctl, .. } => ctl.window(),
+                            SourceState::OnOff { on, .. } => f64::from(u8::from(*on)),
+                        })
+                        .collect(),
+                );
+                ev.push(t + config.sample_interval, EventKind::Sample);
+            }
+        }
+    }
+
+    // Close the queue-area integral at t_end.
+    if config.t_end > last_change {
+        area += q_len as f64 * (config.t_end - last_change);
+    }
+    let window = config.t_end - config.warmup;
+    for f in &mut flows {
+        f.throughput = f.delivered as f64 / window;
+    }
+    let total_throughput: f64 = flows.iter().map(|f| f.throughput).sum();
+    Ok(SimResult {
+        trace_t,
+        trace_q,
+        trace_ctl,
+        mean_queue: area / window,
+        total_throughput,
+        utilization: total_throughput / config.mu,
+        flows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpk_congestion::{LinearExp, WindowAimd};
+
+    fn rate_source(lambda0: f64, prop: f64) -> SourceSpec {
+        SourceSpec::Rate {
+            law: LinearExp::new(1.0, 0.5, 10.0),
+            lambda0,
+            update_interval: 0.1,
+            prop_delay: prop,
+            poisson: true,
+        }
+    }
+
+    fn base_config() -> SimConfig {
+        SimConfig {
+            mu: 50.0,
+            service: Service::Exponential,
+            buffer: None,
+            t_end: 200.0,
+            warmup: 50.0,
+            sample_interval: 0.1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = base_config();
+        let src = vec![rate_source(20.0, 0.01)];
+        let a = run(&cfg, &src).unwrap();
+        let b = run(&cfg, &src).unwrap();
+        assert_eq!(a.trace_q, b.trace_q);
+        assert_eq!(a.flows[0].delivered, b.flows[0].delivered);
+    }
+
+    #[test]
+    fn single_rate_source_fills_the_pipe() {
+        // One JRJ source should drive utilisation close to capacity while
+        // holding the queue near q̂. The probe slope must be matched to
+        // the pipe (C0 = 1 pkt/s² against μ = 50 pkt/s recovers too
+        // slowly after each back-off and idles the server — itself a
+        // faithful JRJ property).
+        let cfg = base_config();
+        let src = SourceSpec::Rate {
+            law: LinearExp::new(8.0, 0.5, 10.0),
+            lambda0: 20.0,
+            update_interval: 0.1,
+            prop_delay: 0.01,
+            poisson: true,
+        };
+        let out = run(&cfg, &[src]).unwrap();
+        assert!(
+            out.utilization > 0.8 && out.utilization < 1.05,
+            "utilization {}",
+            out.utilization
+        );
+        assert!(
+            out.mean_queue > 2.0 && out.mean_queue < 25.0,
+            "mean queue {} should hover near q̂ = 10",
+            out.mean_queue
+        );
+    }
+
+    #[test]
+    fn fixed_rate_source_matches_mm1() {
+        // Disable adaptation (C0 = 0, threshold huge): a pure Poisson
+        // source at λ against an exponential server is M/M/1 with
+        // E[N] = ρ/(1−ρ).
+        let mut cfg = base_config();
+        cfg.t_end = 4000.0;
+        cfg.warmup = 400.0;
+        cfg.mu = 10.0;
+        let src = SourceSpec::Rate {
+            law: LinearExp::new(0.0, 0.5, 1e12),
+            lambda0: 5.0,
+            update_interval: 1.0,
+            prop_delay: 0.01,
+            poisson: true,
+        };
+        let out = run(&cfg, &[src]).unwrap();
+        let rho: f64 = 0.5;
+        let expected = rho / (1.0 - rho); // 1.0
+        assert!(
+            (out.mean_queue - expected).abs() < 0.15,
+            "M/M/1 mean {} vs expected {expected}",
+            out.mean_queue
+        );
+        assert!((out.total_throughput - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn two_equal_rate_sources_share_fairly() {
+        let cfg = base_config();
+        let srcs = vec![rate_source(10.0, 0.01), rate_source(30.0, 0.01)];
+        let out = run(&cfg, &srcs).unwrap();
+        let a = out.flows[0].throughput;
+        let b = out.flows[1].throughput;
+        let ratio = a / b;
+        assert!(
+            (0.85..1.18).contains(&ratio),
+            "throughputs {a} vs {b} should equalise (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn finite_buffer_drops_and_bounds_queue() {
+        let mut cfg = base_config();
+        cfg.buffer = Some(15);
+        // Overdriven fixed-rate source to force drops.
+        let src = SourceSpec::Rate {
+            law: LinearExp::new(0.0, 0.5, 1e12),
+            lambda0: 100.0,
+            update_interval: 1.0,
+            prop_delay: 0.01,
+            poisson: true,
+        };
+        let out = run(&cfg, &[src]).unwrap();
+        assert!(out.flows[0].dropped > 0, "expected drops");
+        assert!(out.trace_q.iter().all(|&q| q <= 15.0));
+        // Server saturated → throughput ≈ μ.
+        assert!((out.total_throughput - cfg.mu).abs() < 0.05 * cfg.mu);
+    }
+
+    #[test]
+    fn window_source_sustains_throughput() {
+        let mut cfg = base_config();
+        cfg.mu = 100.0;
+        let src = SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, 0.1, 10.0),
+            w0: 2.0,
+        };
+        let out = run(&cfg, &[src]).unwrap();
+        assert!(
+            out.utilization > 0.5,
+            "window source should fill a good part of the pipe, got {}",
+            out.utilization
+        );
+        assert!(out.flows[0].delivered > 0);
+    }
+
+    #[test]
+    fn window_rtt_unfairness_longer_rtt_loses() {
+        // Two identical AIMD sources, RTTs 30ms vs 120ms: the short-RTT
+        // flow should collect clearly more throughput (Jacobson's
+        // observation; E7b at packet level).
+        let mut cfg = base_config();
+        cfg.mu = 200.0;
+        cfg.t_end = 300.0;
+        cfg.warmup = 60.0;
+        let mk = |rtt: f64| SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, rtt, 15.0),
+            w0: 2.0,
+        };
+        let out = run(&cfg, &[mk(0.03), mk(0.12)]).unwrap();
+        let short = out.flows[0].throughput;
+        let long = out.flows[1].throughput;
+        assert!(
+            short > 1.5 * long,
+            "short-RTT flow should dominate: {short} vs {long}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let mut cfg = base_config();
+        cfg.mu = 0.0;
+        assert!(run(&cfg, &[rate_source(1.0, 0.01)]).is_err());
+        let mut cfg2 = base_config();
+        cfg2.warmup = cfg2.t_end;
+        assert!(run(&cfg2, &[rate_source(1.0, 0.01)]).is_err());
+        assert!(run(&base_config(), &[]).is_err());
+    }
+
+    #[test]
+    fn trace_is_sampled_on_schedule() {
+        let mut cfg = base_config();
+        cfg.t_end = 10.0;
+        cfg.warmup = 1.0;
+        cfg.sample_interval = 0.5;
+        let out = run(&cfg, &[rate_source(5.0, 0.01)]).unwrap();
+        assert!(out.trace_t.len() >= 20 && out.trace_t.len() <= 22);
+        for w in out.trace_t.windows(2) {
+            assert!((w[1] - w[0] - 0.5).abs() < 1e-9);
+        }
+        assert_eq!(out.trace_ctl.len(), out.trace_t.len());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use fpk_congestion::WindowAimd;
+    use crate::source::SourceSpec;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            mu: 100.0,
+            service: Service::Exponential,
+            buffer: None,
+            t_end: 120.0,
+            warmup: 30.0,
+            sample_interval: 0.1,
+            seed: 21,
+        }
+    }
+
+    fn window_src() -> SourceSpec {
+        SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, 0.05, 15.0),
+            w0: 2.0,
+        }
+    }
+
+    #[test]
+    fn loss_injection_counts_drops() {
+        let out = run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.05 })
+            .unwrap();
+        assert!(out.flows[0].dropped > 0, "expected injected drops");
+        // Roughly 5% of sent packets should be lost.
+        let frac = out.flows[0].dropped as f64 / out.flows[0].sent.max(1) as f64;
+        assert!((0.01..0.15).contains(&frac), "loss fraction {frac}");
+    }
+
+    #[test]
+    fn loss_reduces_window_flow_throughput() {
+        let clean = run(&cfg(), &[window_src()]).unwrap();
+        let lossy = run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.08 })
+            .unwrap();
+        assert!(
+            lossy.flows[0].throughput < 0.8 * clean.flows[0].throughput,
+            "loss should depress throughput: {} vs {}",
+            lossy.flows[0].throughput,
+            clean.flows[0].throughput
+        );
+    }
+
+    #[test]
+    fn zero_loss_matches_plain_run() {
+        let a = run(&cfg(), &[window_src()]).unwrap();
+        let b = run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.0 })
+            .unwrap();
+        assert_eq!(a.flows[0].delivered, b.flows[0].delivered);
+    }
+
+    #[test]
+    fn rejects_invalid_loss_prob() {
+        assert!(run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 1.0 }).is_err());
+        assert!(run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: -0.1 }).is_err());
+    }
+}
+
+#[cfg(test)]
+mod decbit_tests {
+    use super::*;
+    use crate::source::SourceSpec;
+    use fpk_congestion::decbit::DecbitPolicy;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            mu: 100.0,
+            service: Service::Exponential,
+            buffer: None,
+            t_end: 200.0,
+            warmup: 50.0,
+            sample_interval: 0.1,
+            seed: 33,
+        }
+    }
+
+    fn decbit_src(q_hat: f64) -> SourceSpec {
+        SourceSpec::Decbit {
+            policy: DecbitPolicy::raja88(),
+            rtt: 0.05,
+            w0: 2.0,
+            q_hat,
+        }
+    }
+
+    #[test]
+    fn decbit_source_sustains_throughput() {
+        let out = run(&cfg(), &[decbit_src(3.0)]).unwrap();
+        assert!(
+            out.utilization > 0.5,
+            "DECbit source should use the pipe, got {}",
+            out.utilization
+        );
+        assert!(out.flows[0].delivered > 1000);
+    }
+
+    #[test]
+    fn decbit_window_stays_bounded() {
+        let out = run(&cfg(), &[decbit_src(3.0)]).unwrap();
+        let max_w = out
+            .trace_ctl
+            .iter()
+            .map(|c| c[0])
+            .fold(f64::MIN, f64::max);
+        assert!(max_w < 60.0, "window should not blow up: {max_w}");
+        assert!(max_w >= 1.0);
+    }
+
+    #[test]
+    fn decbit_keeps_mean_queue_near_threshold_scale() {
+        // RaJa tuned DECbit to operate near the knee (averaged queue ≈ 1–2).
+        let out = run(&cfg(), &[decbit_src(1.0)]).unwrap();
+        assert!(
+            out.mean_queue < 15.0,
+            "averaged marking should keep the queue modest: {}",
+            out.mean_queue
+        );
+    }
+
+    #[test]
+    fn two_decbit_sources_share_fairly() {
+        let out = run(&cfg(), &[decbit_src(3.0), decbit_src(3.0)]).unwrap();
+        let a = out.flows[0].throughput;
+        let b = out.flows[1].throughput;
+        let ratio = a.min(b) / a.max(b);
+        assert!(ratio > 0.6, "DECbit flows should share: {a} vs {b}");
+    }
+
+    #[test]
+    fn averaged_marking_smooths_vs_instantaneous() {
+        // Same window dynamics driven by instantaneous marks (Window
+        // source with the DECbit-ish parameters) vs averaged marks:
+        // averaged marking reacts to sustained congestion only, so the
+        // *control* signal flaps less. Compare window trace variability.
+        let inst = SourceSpec::Window {
+            aimd: fpk_congestion::WindowAimd::new(1.0, 0.875, 0.05, 3.0),
+            w0: 2.0,
+        };
+        let out_inst = run(&cfg(), &[inst]).unwrap();
+        let out_avg = run(&cfg(), &[decbit_src(3.0)]).unwrap();
+        let var = |trace: &[Vec<f64>]| {
+            let xs: Vec<f64> = trace.iter().map(|c| c[0]).collect();
+            fpk_numerics::stats::variance(&xs[xs.len() / 2..])
+        };
+        // Not asserting a strict ordering (different decision cadences),
+        // but both must be finite and the DECbit one non-degenerate.
+        assert!(var(&out_inst.trace_ctl).is_finite());
+        assert!(var(&out_avg.trace_ctl) > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod onoff_tests {
+    use super::*;
+    use crate::source::SourceSpec;
+
+    fn cfg(t_end: f64) -> SimConfig {
+        SimConfig {
+            mu: 10.0,
+            service: Service::Exponential,
+            buffer: None,
+            t_end,
+            warmup: t_end * 0.2,
+            sample_interval: 0.1,
+            seed: 44,
+        }
+    }
+
+    /// On-off source with mean rate `lambda` and given duty cycle.
+    fn onoff(lambda: f64, duty: f64, mean_on: f64) -> SourceSpec {
+        let mean_off = mean_on * (1.0 - duty) / duty;
+        SourceSpec::OnOff {
+            peak_rate: lambda / duty,
+            mean_on,
+            mean_off,
+            prop_delay: 0.01,
+        }
+    }
+
+    #[test]
+    fn mean_rate_matches_specification() {
+        // λ = 5 at 50% duty: delivered throughput ≈ 5 (stable queue).
+        let out = run(&cfg(2000.0), &[onoff(5.0, 0.5, 1.0)]).unwrap();
+        assert!(
+            (out.total_throughput - 5.0).abs() < 0.3,
+            "throughput {} should be ≈ 5",
+            out.total_throughput
+        );
+    }
+
+    #[test]
+    fn burstier_traffic_builds_longer_queues() {
+        // Same mean rate, same duty cycle, longer sojourns (burstier at
+        // every timescale) → larger mean queue. Poisson is the baseline.
+        let poisson = SourceSpec::Rate {
+            law: fpk_congestion::LinearExp::new(0.0, 0.5, 1e12),
+            lambda0: 8.0,
+            update_interval: 1.0,
+            prop_delay: 0.01,
+            poisson: true,
+        };
+        let out_p = run(&cfg(3000.0), &[poisson]).unwrap();
+        let out_short = run(&cfg(3000.0), &[onoff(8.0, 0.5, 0.2)]).unwrap();
+        let out_long = run(&cfg(3000.0), &[onoff(8.0, 0.5, 2.0)]).unwrap();
+        assert!(
+            out_short.mean_queue > out_p.mean_queue,
+            "on-off ({}) should beat Poisson ({})",
+            out_short.mean_queue,
+            out_p.mean_queue
+        );
+        assert!(
+            out_long.mean_queue > 1.5 * out_short.mean_queue,
+            "longer sojourns should be burstier: {} vs {}",
+            out_long.mean_queue,
+            out_short.mean_queue
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = run(&cfg(200.0), &[onoff(5.0, 0.3, 0.5)]).unwrap();
+        let b = run(&cfg(200.0), &[onoff(5.0, 0.3, 0.5)]).unwrap();
+        assert_eq!(a.flows[0].delivered, b.flows[0].delivered);
+    }
+
+    #[test]
+    fn trace_records_phase() {
+        let out = run(&cfg(200.0), &[onoff(5.0, 0.5, 1.0)]).unwrap();
+        let phases: Vec<f64> = out.trace_ctl.iter().map(|c| c[0]).collect();
+        assert!(phases.iter().any(|&p| p == 1.0), "should see ON samples");
+        assert!(phases.iter().any(|&p| p == 0.0), "should see OFF samples");
+    }
+}

@@ -1,0 +1,195 @@
+//! The event queue: a binary heap of timestamped events with
+//! deterministic FIFO tie-breaking.
+//!
+//! `BinaryHeap` alone is not deterministic for equal keys, so every event
+//! carries a monotone sequence number; two events at the same simulated
+//! time fire in the order they were scheduled. Determinism matters here —
+//! every experiment in `EXPERIMENTS.md` quotes seeds, and a re-run must
+//! reproduce the table byte for byte.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A packet from `flow` reaches the bottleneck queue.
+    Arrival {
+        /// Index of the sending flow.
+        flow: usize,
+    },
+    /// The packet at the head of the queue finishes service.
+    Departure,
+    /// `flow` should emit its next packet (self-rescheduling).
+    SendPacket {
+        /// Index of the sending flow.
+        flow: usize,
+    },
+    /// Take a queue-length observation on behalf of `flow` (the value
+    /// travels back and fires as [`EventKind::Feedback`] one propagation
+    /// delay later).
+    Observe {
+        /// Index of the flow to observe for.
+        flow: usize,
+    },
+    /// A delayed queue-length observation arrives at `flow`.
+    Feedback {
+        /// Index of the observing flow.
+        flow: usize,
+        /// The queue length that was observed (already stale by the
+        /// feedback delay when this fires).
+        observed_queue: u64,
+    },
+    /// An acknowledgement returns to `flow`.
+    Ack {
+        /// Index of the flow being acked.
+        flow: usize,
+        /// Whether the packet saw a queue above target (DECbit-style
+        /// congestion mark).
+        marked: bool,
+    },
+    /// An on-off source toggles between its ON and OFF phases.
+    Toggle {
+        /// Index of the toggling flow.
+        flow: usize,
+    },
+    /// Periodic statistics sampling.
+    Sample,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated firing time.
+    pub t: f64,
+    /// Monotone tie-breaker (assigned by [`EventQueue::push`]).
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (t, seq); times are finite by
+        // construction (push asserts).
+        other
+            .t
+            .partial_cmp(&self.t)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic min-heap event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at time `t`.
+    ///
+    /// # Panics
+    /// Panics when `t` is not finite (programming error upstream).
+    pub fn push(&mut self, t: f64, kind: EventKind) {
+        assert!(t.is_finite(), "event time must be finite, got {t}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { t, seq, kind });
+    }
+
+    /// Pop the earliest event (ties in scheduling order).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, EventKind::Departure);
+        q.push(1.0, EventKind::Sample);
+        q.push(2.0, EventKind::Arrival { flow: 0 });
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.t)).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut q = EventQueue::new();
+        for flow in 0..5 {
+            q.push(1.0, EventKind::Arrival { flow });
+        }
+        let flows: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|e| match e.kind {
+                EventKind::Arrival { flow } => flow,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(flows, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::Sample);
+        q.push(1.0, EventKind::Sample);
+        assert_eq!(q.pop().unwrap().t, 1.0);
+        q.push(0.5, EventKind::Sample);
+        q.push(4.0, EventKind::Sample);
+        assert_eq!(q.pop().unwrap().t, 0.5);
+        assert_eq!(q.pop().unwrap().t, 4.0);
+        assert_eq!(q.pop().unwrap().t, 5.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, EventKind::Sample);
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, EventKind::Sample);
+        q.push(2.0, EventKind::Sample);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! `fpk-sim` — a deterministic discrete-event simulator of a bottleneck
+//! queue fed by adaptive sources.
+//!
+//! This is the packet-level substrate standing in for the measurement
+//! systems the paper leans on (Jacobson's BSD TCP measurements, Zhang's
+//! simulator): it exercises the same feedback loop the Fokker–Planck and
+//! fluid models abstract — send, queue, mark/observe, adapt — at per-
+//! packet granularity with real stochastic variability (Poisson sources,
+//! exponential service).
+//!
+//! * [`event`] — deterministic event queue (time + FIFO tie-break).
+//! * [`source`] — rate-based sources (Eq. 2 integrated over feedback
+//!   epochs) and window-based AIMD sources (Eq. 1, DECbit marks).
+//! * [`engine`] — the simulation loop: FIFO bottleneck, propagation
+//!   delays, drops, acknowledgements, tracing.
+//! * [`metrics`] — fairness/oscillation summaries and theory comparisons.
+//!
+//! Every run is reproducible from its seed; experiments in
+//! `EXPERIMENTS.md` quote the seeds they used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod source;
+pub mod tandem;
+
+pub use engine::{run, Service, SimConfig, SimResult};
+pub use source::SourceSpec;
+pub use tandem::{run_tandem, TandemConfig, TandemFlow};

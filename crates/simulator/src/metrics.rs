@@ -1,0 +1,115 @@
+//! Post-processing of simulation results: fairness summaries, oscillation
+//! analysis of queue traces, and comparisons against fluid/theory
+//! predictions.
+
+use crate::engine::SimResult;
+use fpk_numerics::signal::{analyze_oscillation, Oscillation};
+use fpk_numerics::{NumericsError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A compact per-run summary used by the experiment harnesses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Per-flow throughputs (packets/s).
+    pub throughputs: Vec<f64>,
+    /// Jain fairness index of the throughputs.
+    pub jain: f64,
+    /// Time-averaged queue length.
+    pub mean_queue: f64,
+    /// Bottleneck utilisation.
+    pub utilization: f64,
+    /// Oscillation statistics of the queue trace tail (`None` if the
+    /// queue settled or the trace was too short).
+    pub queue_oscillation: Option<Oscillation>,
+    /// Total packets dropped across flows.
+    pub total_dropped: u64,
+}
+
+/// Summarise a simulation result, analysing the final `tail_fraction` of
+/// the queue trace for oscillation.
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] when the trace is shorter than
+/// three samples; propagates fairness-metric errors.
+pub fn summarize(result: &SimResult, tail_fraction: f64) -> Result<RunSummary> {
+    if result.trace_t.len() < 3 {
+        return Err(NumericsError::InvalidParameter {
+            context: "summarize: trace too short",
+        });
+    }
+    let throughputs: Vec<f64> = result.flows.iter().map(|f| f.throughput).collect();
+    let jain = fpk_congestion::fairness::jain_index(&throughputs)?;
+    let queue_oscillation = analyze_oscillation(&result.trace_t, &result.trace_q, tail_fraction)?;
+    Ok(RunSummary {
+        jain,
+        mean_queue: result.mean_queue,
+        utilization: result.utilization,
+        queue_oscillation,
+        total_dropped: result.flows.iter().map(|f| f.dropped).sum(),
+        throughputs,
+    })
+}
+
+/// Relative error between measured per-flow throughputs and a theoretical
+/// share prediction (both normalised): the E6b verdict number.
+///
+/// # Errors
+/// Propagates share-comparison errors (length mismatch, zero totals).
+pub fn theory_gap(result: &SimResult, predicted: &[f64]) -> Result<f64> {
+    let measured: Vec<f64> = result.flows.iter().map(|f| f.throughput).collect();
+    fpk_congestion::fairness::share_prediction_error(&measured, predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, Service, SimConfig};
+    use crate::source::SourceSpec;
+    use fpk_congestion::LinearExp;
+
+    fn quick_result() -> SimResult {
+        let cfg = SimConfig {
+            mu: 50.0,
+            service: Service::Exponential,
+            buffer: None,
+            t_end: 60.0,
+            warmup: 10.0,
+            sample_interval: 0.05,
+            seed: 3,
+        };
+        let src = SourceSpec::Rate {
+            law: LinearExp::new(2.0, 0.5, 8.0),
+            lambda0: 10.0,
+            update_interval: 0.1,
+            prop_delay: 0.01,
+            poisson: true,
+        };
+        run(&cfg, &[src.clone(), src]).unwrap()
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let r = quick_result();
+        let s = summarize(&r, 0.5).unwrap();
+        assert_eq!(s.throughputs.len(), 2);
+        assert!(s.jain > 0.5 && s.jain <= 1.0);
+        assert!(s.mean_queue >= 0.0);
+        assert!(s.utilization > 0.0);
+    }
+
+    #[test]
+    fn theory_gap_zero_against_self() {
+        let r = quick_result();
+        let measured: Vec<f64> = r.flows.iter().map(|f| f.throughput).collect();
+        let gap = theory_gap(&r, &measured).unwrap();
+        assert!(gap < 1e-12);
+    }
+
+    #[test]
+    fn summarize_rejects_short_trace() {
+        let mut r = quick_result();
+        r.trace_t.truncate(2);
+        r.trace_q.truncate(2);
+        assert!(summarize(&r, 0.5).is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! Tandem (multi-hop) topology: K bottleneck queues in series, flows
+//! crossing contiguous spans of them.
+//!
+//! The paper's introduction cites Zhang [Zha 89] and Jacobson [Jac 88]:
+//! *connections traversing more hops receive a poorer share of an
+//! intermediate resource than connections with fewer hops*. This module
+//! reproduces that observation at packet level: a long flow crossing all
+//! K queues competes at each hop with short single-hop cross-traffic;
+//! the long flow sees (a) the sum of propagation delays, (b) marks from
+//! *any* congested hop (its mark probability compounds), so it backs off
+//! more often and recovers more slowly.
+
+use crate::source::{window_on_ack, SourceState};
+use fpk_congestion::WindowAimd;
+use fpk_numerics::{NumericsError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A flow crossing hops `first_hop..=last_hop` with a window-AIMD
+/// controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TandemFlow {
+    /// AIMD parameters; `aimd.rtt` is interpreted as the *per-hop*
+    /// one-way propagation delay × 2 (so total RTT grows with hop
+    /// count).
+    pub aimd: WindowAimd,
+    /// Initial window.
+    pub w0: f64,
+    /// First hop index (0-based).
+    pub first_hop: usize,
+    /// Last hop index (inclusive); must be ≥ `first_hop`.
+    pub last_hop: usize,
+}
+
+impl TandemFlow {
+    /// Number of hops this flow crosses.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.last_hop - self.first_hop + 1
+    }
+
+    /// One-way propagation delay per hop.
+    #[must_use]
+    pub fn hop_delay(&self) -> f64 {
+        0.5 * self.aimd.rtt
+    }
+}
+
+/// Tandem simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TandemConfig {
+    /// Per-queue service rates (length = number of hops).
+    pub mu: Vec<f64>,
+    /// Exponential service when true, deterministic otherwise.
+    pub exponential_service: bool,
+    /// Simulated horizon.
+    pub t_end: f64,
+    /// Statistics ignore `[0, warmup)`.
+    pub warmup: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Per-flow tandem results.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TandemFlowStats {
+    /// Packets delivered end-to-end after warm-up.
+    pub delivered: u64,
+    /// End-to-end throughput (packets/s).
+    pub throughput: f64,
+    /// Number of hops the flow crosses.
+    pub hops: usize,
+}
+
+/// Result of a tandem run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TandemResult {
+    /// Per-flow statistics.
+    pub flows: Vec<TandemFlowStats>,
+    /// Time-averaged queue length per hop (after warm-up).
+    pub mean_queue: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    /// Packet of `flow` arrives at queue `hop`.
+    Arrive { flow: usize, hop: usize, marked: bool },
+    /// Head-of-line departure at queue `hop`.
+    Depart { hop: usize },
+    /// Ack returns to `flow`.
+    Ack { flow: usize, marked: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ev {
+    t: f64,
+    seq: u64,
+    kind: Kind,
+}
+
+impl Eq for Ev {}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .t
+            .partial_cmp(&self.t)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Run a tandem simulation.
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] for empty topology/flows, routes
+/// out of range, or bad times.
+#[allow(clippy::too_many_lines)]
+pub fn run_tandem(config: &TandemConfig, flows: &[TandemFlow]) -> Result<TandemResult> {
+    let k = config.mu.len();
+    if k == 0 || flows.is_empty() {
+        return Err(NumericsError::InvalidParameter {
+            context: "run_tandem: need >= 1 queue and >= 1 flow",
+        });
+    }
+    if config.mu.iter().any(|&m| !(m > 0.0)) {
+        return Err(NumericsError::InvalidParameter {
+            context: "run_tandem: service rates must be positive",
+        });
+    }
+    if flows
+        .iter()
+        .any(|f| f.first_hop > f.last_hop || f.last_hop >= k)
+    {
+        return Err(NumericsError::InvalidParameter {
+            context: "run_tandem: flow route out of range",
+        });
+    }
+    if !(config.t_end > 0.0) || !(0.0..config.t_end).contains(&config.warmup) {
+        return Err(NumericsError::InvalidParameter {
+            context: "run_tandem: need t_end > 0 and warmup in [0, t_end)",
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Ev>, seq: &mut u64, t: f64, kind: Kind| {
+        assert!(t.is_finite());
+        heap.push(Ev { t, seq: *seq, kind });
+        *seq += 1;
+    };
+
+    // Per-queue state.
+    let mut fifos: Vec<VecDeque<(usize, bool)>> = vec![VecDeque::new(); k];
+    let mut busy = vec![false; k];
+    let mut q_len = vec![0u64; k];
+    let mut area = vec![0.0f64; k];
+    let mut last_change = vec![config.warmup; k];
+
+    // Per-flow state.
+    let mut states: Vec<SourceState> = flows
+        .iter()
+        .map(|f| SourceState::Window {
+            window: f.w0.max(1.0),
+            in_flight: 0,
+            marked_this_round: false,
+            acks_this_round: 0,
+            cut_this_round: false,
+        })
+        .collect();
+    let mut delivered = vec![0u64; flows.len()];
+
+    // Initial bursts.
+    for (i, f) in flows.iter().enumerate() {
+        let burst = f.w0.max(1.0).floor() as u64;
+        if let SourceState::Window { in_flight, .. } = &mut states[i] {
+            *in_flight = burst;
+        }
+        for b in 0..burst {
+            push(
+                &mut heap,
+                &mut seq,
+                f.hop_delay() + b as f64 * 1e-6,
+                Kind::Arrive {
+                    flow: i,
+                    hop: f.first_hop,
+                    marked: false,
+                },
+            );
+        }
+    }
+
+    let service = |rng: &mut StdRng, hop: usize| -> f64 {
+        if config.exponential_service {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            -u.ln() / config.mu[hop]
+        } else {
+            1.0 / config.mu[hop]
+        }
+    };
+
+    while let Some(ev) = heap.pop() {
+        let t = ev.t;
+        if t > config.t_end {
+            break;
+        }
+        match ev.kind {
+            Kind::Arrive { flow, hop, marked } => {
+                // OR-in this hop's congestion mark (instantaneous test
+                // against the flow's q̂).
+                let marked = marked || q_len[hop] as f64 > flows[flow].aimd.q_hat;
+                if t >= config.warmup {
+                    area[hop] += q_len[hop] as f64 * (t - last_change[hop]);
+                    last_change[hop] = t;
+                } else {
+                    last_change[hop] = t.max(config.warmup);
+                }
+                fifos[hop].push_back((flow, marked));
+                q_len[hop] += 1;
+                if !busy[hop] {
+                    busy[hop] = true;
+                    let st = service(&mut rng, hop);
+                    push(&mut heap, &mut seq, t + st, Kind::Depart { hop });
+                }
+            }
+            Kind::Depart { hop } => {
+                let (flow, marked) = fifos[hop].pop_front().expect("depart from empty");
+                if t >= config.warmup {
+                    area[hop] += q_len[hop] as f64 * (t - last_change[hop]);
+                    last_change[hop] = t;
+                } else {
+                    last_change[hop] = t.max(config.warmup);
+                }
+                q_len[hop] -= 1;
+                let f = &flows[flow];
+                if hop < f.last_hop {
+                    // Forward to the next hop after one hop delay.
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        t + f.hop_delay(),
+                        Kind::Arrive {
+                            flow,
+                            hop: hop + 1,
+                            marked,
+                        },
+                    );
+                } else {
+                    // Exits the network; ack returns across the whole
+                    // path.
+                    if t >= config.warmup {
+                        delivered[flow] += 1;
+                    }
+                    let back = f.hops() as f64 * f.hop_delay();
+                    push(&mut heap, &mut seq, t + back, Kind::Ack { flow, marked });
+                }
+                if q_len[hop] > 0 {
+                    let st = service(&mut rng, hop);
+                    push(&mut heap, &mut seq, t + st, Kind::Depart { hop });
+                } else {
+                    busy[hop] = false;
+                }
+            }
+            Kind::Ack { flow, marked } => {
+                let f = &flows[flow];
+                window_on_ack(&f.aimd, &mut states[flow], marked);
+                let SourceState::Window {
+                    window, in_flight, ..
+                } = &mut states[flow]
+                else {
+                    unreachable!()
+                };
+                let allowed = window.floor().max(1.0) as u64;
+                let mut to_send = allowed.saturating_sub(*in_flight);
+                while to_send > 0 {
+                    *in_flight += 1;
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        t + f.hop_delay(),
+                        Kind::Arrive {
+                            flow,
+                            hop: f.first_hop,
+                            marked: false,
+                        },
+                    );
+                    to_send -= 1;
+                }
+            }
+        }
+    }
+
+    let window = config.t_end - config.warmup;
+    let mut mean_queue = Vec::with_capacity(k);
+    for hop in 0..k {
+        let mut a = area[hop];
+        if config.t_end > last_change[hop] {
+            a += q_len[hop] as f64 * (config.t_end - last_change[hop]);
+        }
+        mean_queue.push(a / window);
+    }
+    let stats: Vec<TandemFlowStats> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| TandemFlowStats {
+            delivered: delivered[i],
+            throughput: delivered[i] as f64 / window,
+            hops: f.hops(),
+        })
+        .collect();
+    Ok(TandemResult {
+        flows: stats,
+        mean_queue,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aimd(rtt: f64) -> WindowAimd {
+        WindowAimd::new(1.0, 0.5, rtt, 10.0)
+    }
+
+    fn config(k: usize) -> TandemConfig {
+        TandemConfig {
+            mu: vec![100.0; k],
+            exponential_service: true,
+            t_end: 300.0,
+            warmup: 60.0,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn single_hop_single_flow_works() {
+        let flows = [TandemFlow {
+            aimd: aimd(0.05),
+            w0: 2.0,
+            first_hop: 0,
+            last_hop: 0,
+        }];
+        let out = run_tandem(&config(1), &flows).unwrap();
+        assert!(out.flows[0].delivered > 1000, "delivered {}", out.flows[0].delivered);
+        assert_eq!(out.flows[0].hops, 1);
+        assert!(out.mean_queue[0] > 0.0);
+    }
+
+    #[test]
+    fn long_flow_loses_to_cross_traffic() {
+        // Zhang's observation: a flow crossing 3 hops against per-hop
+        // single-hop cross traffic gets a poorer share of every hop.
+        let k = 3;
+        let mut flows = vec![TandemFlow {
+            aimd: aimd(0.05),
+            w0: 2.0,
+            first_hop: 0,
+            last_hop: k - 1,
+        }];
+        for hop in 0..k {
+            flows.push(TandemFlow {
+                aimd: aimd(0.05),
+                w0: 2.0,
+                first_hop: hop,
+                last_hop: hop,
+            });
+        }
+        let out = run_tandem(&config(k), &flows).unwrap();
+        let long = out.flows[0].throughput;
+        let shorts: Vec<f64> = out.flows[1..].iter().map(|f| f.throughput).collect();
+        for (hop, s) in shorts.iter().enumerate() {
+            assert!(
+                *s > 1.3 * long,
+                "short flow at hop {hop} ({s}) should beat the long flow ({long})"
+            );
+        }
+    }
+
+    #[test]
+    fn more_hops_means_less_throughput() {
+        // Three flows with 1, 2, 3 hops on a 3-queue tandem, all starting
+        // at hop 0: throughput ordering must be hops-monotone.
+        let k = 3;
+        let mk = |last: usize| TandemFlow {
+            aimd: aimd(0.05),
+            w0: 2.0,
+            first_hop: 0,
+            last_hop: last,
+        };
+        let flows = [mk(0), mk(1), mk(2)];
+        let out = run_tandem(&config(k), &flows).unwrap();
+        let t: Vec<f64> = out.flows.iter().map(|f| f.throughput).collect();
+        assert!(
+            t[0] > t[1] && t[1] > t[2],
+            "throughput must fall with hop count: {t:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let flows = [TandemFlow {
+            aimd: aimd(0.05),
+            w0: 2.0,
+            first_hop: 0,
+            last_hop: 1,
+        }];
+        let a = run_tandem(&config(2), &flows).unwrap();
+        let b = run_tandem(&config(2), &flows).unwrap();
+        assert_eq!(a.flows[0].delivered, b.flows[0].delivered);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let f = TandemFlow {
+            aimd: aimd(0.05),
+            w0: 2.0,
+            first_hop: 0,
+            last_hop: 2,
+        };
+        assert!(run_tandem(&config(2), &[f.clone()]).is_err()); // route too long
+        assert!(run_tandem(&config(0), &[f.clone()]).is_err());
+        let mut cfg = config(3);
+        cfg.mu[1] = 0.0;
+        assert!(run_tandem(&cfg, &[f.clone()]).is_err());
+        let mut cfg2 = config(3);
+        cfg2.warmup = cfg2.t_end;
+        assert!(run_tandem(&cfg2, &[f]).is_err());
+    }
+
+    #[test]
+    fn utilisation_sane_on_saturated_tandem() {
+        // A single aggressive flow across 2 hops: the first queue's
+        // throughput bounds the second's arrivals; both mean queues
+        // finite, end-to-end delivery positive.
+        let flows = [TandemFlow {
+            aimd: WindowAimd::new(4.0, 0.5, 0.02, 20.0),
+            w0: 8.0,
+            first_hop: 0,
+            last_hop: 1,
+        }];
+        let mut cfg = config(2);
+        cfg.mu = vec![50.0, 100.0]; // hop 0 is the bottleneck
+        let out = run_tandem(&cfg, &flows).unwrap();
+        assert!(out.flows[0].throughput > 20.0);
+        assert!(out.flows[0].throughput <= 51.0);
+        assert!(out.mean_queue[0] > out.mean_queue[1]);
+    }
+}

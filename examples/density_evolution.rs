@@ -1,0 +1,104 @@
+//! Eq. 14 live: watch the joint density f(t, q, nu) transport along the
+//! spiral characteristics and settle into its stationary shape, and
+//! cross-validate against a Langevin Monte-Carlo ensemble (experiment E4).
+//!
+//! Prints ASCII heatmaps of the density at a few times plus the
+//! PDE-vs-MC agreement (Kolmogorov–Smirnov distance of the q-marginal).
+//!
+//! Run with: `cargo run --release --example density_evolution`
+
+use fpk_repro::congestion::LinearExp;
+use fpk_repro::fpk::montecarlo::{simulate_ensemble, McConfig};
+use fpk_repro::fpk::solver::{FpProblem, FpSolver};
+use fpk_repro::fpk::Density;
+use fpk_repro::numerics::stats::ks_sample_vs_density;
+
+fn heatmap(d: &Density, rows: usize, cols: usize) {
+    // Down-sample the density onto rows × cols character cells; q runs
+    // left→right, ν bottom→top.
+    let nx = d.grid.x.n();
+    let ny = d.grid.y.n();
+    let shades = [' ', '.', ':', '+', '*', '#', '@'];
+    let max = d.data.iter().cloned().fold(0.0f64, f64::max).max(1e-300);
+    for r in (0..rows).rev() {
+        let mut line = String::with_capacity(cols);
+        for c in 0..cols {
+            let i0 = c * nx / cols;
+            let i1 = ((c + 1) * nx / cols).max(i0 + 1);
+            let j0 = r * ny / rows;
+            let j1 = ((r + 1) * ny / rows).max(j0 + 1);
+            let mut acc = 0.0f64;
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    acc = acc.max(d.data[i * ny + j]);
+                }
+            }
+            let level = ((acc / max).powf(0.4) * (shades.len() - 1) as f64).round() as usize;
+            line.push(shades[level.min(shades.len() - 1)]);
+        }
+        println!("  |{line}|");
+    }
+    println!(
+        "   q: 0 .. {:.0}   (nu: {:.0} bottom .. {:.0} top)",
+        d.grid.x.hi(),
+        d.grid.y.lo(),
+        d.grid.y.hi()
+    );
+}
+
+fn main() {
+    let mu = 5.0;
+    let sigma2 = 0.4;
+    let law = LinearExp::new(1.0, 0.5, 10.0);
+
+    let grid = Density::standard_grid(40.0, -6.0, 6.0, 120, 72).expect("grid");
+    let init = Density::gaussian(grid, 3.0, -3.0, 1.2, 0.6).expect("init");
+    let mut solver = FpSolver::new(FpProblem::new(law, mu, sigma2), init).expect("solver");
+
+    let times = [0.0, 3.0, 8.0, 20.0, 60.0];
+    let mc = simulate_ensemble(
+        &law,
+        &McConfig {
+            mu,
+            sigma2,
+            n_particles: 40_000,
+            dt: 2e-3,
+            seed: 99,
+            threads: 4,
+            init_mean: (3.0, -3.0),
+            init_std: (1.2, 0.6),
+        },
+        &times[1..],
+    )
+    .expect("monte carlo");
+
+    println!("Joint density f(t, q, nu) under the JRJ law (sigma² = {sigma2}):");
+    for (k, &t) in times.iter().enumerate() {
+        solver.run_until(t).expect("run");
+        let d = solver.density();
+        println!();
+        println!(
+            "--- t = {t:>4.1}   E[Q] = {:.2}  Var[Q] = {:.2}  E[nu] = {:+.3}  mass = {:.6}",
+            d.mean_q(),
+            d.var_q(),
+            d.mean_nu(),
+            d.mass()
+        );
+        heatmap(d, 12, 60);
+        if k > 0 {
+            let snap = &mc[k - 1];
+            let centers = d.grid.x.centers();
+            let marginal = d.marginal_q();
+            let ks = ks_sample_vs_density(&snap.q, &centers, &marginal).expect("ks");
+            println!(
+                "   vs Monte Carlo (40k paths): E[Q]_mc = {:.2}, KS distance = {:.4}",
+                snap.mean_q(),
+                ks
+            );
+        }
+    }
+    println!();
+    println!("The blob rides the spiral characteristics of Section 5 into the");
+    println!("limit point (q̂, 0) and equilibrates at a spread set by sigma² —");
+    println!("the stationary density of experiment E5.");
+}

@@ -1,0 +1,117 @@
+//! Multi-hop unfairness and fault injection: the packet-level view of
+//! the paper's introduction (after Zhang's and Jacobson's observations).
+//!
+//! Part 1 — a long AIMD connection crosses a 4-queue tandem against
+//! single-hop cross traffic: its share collapses with hop count.
+//! Part 2 — the same single-bottleneck flow under injected random loss:
+//! the AIMD controller backs off gracefully rather than collapsing.
+//! Part 3 — DECbit sources (regeneration-cycle averaged marking, the
+//! actual Ramakrishnan–Jain mechanism) on the same bottleneck.
+//!
+//! Run with: `cargo run --release --example multihop_tandem`
+
+use fpk_repro::congestion::decbit::DecbitPolicy;
+use fpk_repro::congestion::WindowAimd;
+use fpk_repro::sim::engine::{run_with_faults, FaultConfig};
+use fpk_repro::sim::{run, run_tandem, Service, SimConfig, SourceSpec, TandemConfig, TandemFlow};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Part 1: hop-count unfairness on a tandem.
+    // ------------------------------------------------------------------
+    println!("=== 4-hop tandem: long flow vs per-hop cross traffic ===");
+    let aimd = WindowAimd::new(1.0, 0.5, 0.05, 10.0);
+    let k = 4;
+    let mut flows = vec![TandemFlow {
+        aimd,
+        w0: 2.0,
+        first_hop: 0,
+        last_hop: k - 1,
+    }];
+    for hop in 0..k {
+        flows.push(TandemFlow {
+            aimd,
+            w0: 2.0,
+            first_hop: hop,
+            last_hop: hop,
+        });
+    }
+    let out = run_tandem(
+        &TandemConfig {
+            mu: vec![100.0; k],
+            exponential_service: true,
+            t_end: 300.0,
+            warmup: 60.0,
+            seed: 71,
+        },
+        &flows,
+    )
+    .expect("tandem");
+    println!(
+        "  long flow ({} hops): {:.1} pkts/s",
+        out.flows[0].hops, out.flows[0].throughput
+    );
+    for (h, f) in out.flows[1..].iter().enumerate() {
+        println!("  cross flow at hop {h}: {:.1} pkts/s", f.throughput);
+    }
+    println!(
+        "  per-hop mean queues: {:?}",
+        out.mean_queue
+            .iter()
+            .map(|q| (q * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    println!("  → the long connection is starved at every hop it crosses —");
+    println!("    Zhang's and Jacobson's multi-hop unfairness, reproduced.");
+    println!();
+
+    // ------------------------------------------------------------------
+    // Part 2: fault injection on a single bottleneck.
+    // ------------------------------------------------------------------
+    println!("=== fault injection: AIMD under random loss ===");
+    let cfg = SimConfig {
+        mu: 100.0,
+        service: Service::Exponential,
+        buffer: None,
+        t_end: 200.0,
+        warmup: 40.0,
+        sample_interval: 0.1,
+        seed: 72,
+    };
+    let src = SourceSpec::Window {
+        aimd: WindowAimd::new(1.0, 0.5, 0.05, 15.0),
+        w0: 2.0,
+    };
+    for loss in [0.0, 0.02, 0.05, 0.10] {
+        let out = run_with_faults(&cfg, &[src.clone()], &FaultConfig { loss_prob: loss })
+            .expect("sim");
+        println!(
+            "  loss {:>4.0}%: throughput {:>6.1} pkts/s, drops {:>5}, mean queue {:>5.1}",
+            loss * 100.0,
+            out.flows[0].throughput,
+            out.flows[0].dropped,
+            out.mean_queue
+        );
+    }
+    println!("  → throughput degrades smoothly with loss; no collapse.");
+    println!();
+
+    // ------------------------------------------------------------------
+    // Part 3: DECbit sources (averaged marking).
+    // ------------------------------------------------------------------
+    println!("=== DECbit (Ramakrishnan–Jain) sources on one bottleneck ===");
+    let decbit = |q_hat: f64| SourceSpec::Decbit {
+        policy: DecbitPolicy::raja88(),
+        rtt: 0.05,
+        w0: 2.0,
+        q_hat,
+    };
+    let out = run(&cfg, &[decbit(2.0), decbit(2.0)]).expect("sim");
+    println!(
+        "  two DECbit flows: throughputs ({:.1}, {:.1}) pkts/s, mean queue {:.2}",
+        out.flows[0].throughput, out.flows[1].throughput, out.mean_queue
+    );
+    println!("  → regeneration-cycle averaging holds the queue near the knee");
+    println!("    while sharing the pipe — the mechanism the paper's Eq. 1/2");
+    println!("    abstracts into g(·).");
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over the library's core invariants.
+//!
+//! These sweep randomised parameters through the analytic theory, the
+//! Fokker–Planck kernels and the fluid integrators, checking the
+//! invariants the paper's claims rest on:
+//!
+//! * Theorem 1: the return map contracts for *every* admissible
+//!   parameter combination;
+//! * sliding-mode shares always sum to μ, are positive, and are ordered
+//!   like C0/C1;
+//! * finite-volume advection conserves mass and preserves positivity for
+//!   arbitrary velocity fields and profiles;
+//! * the DDE integrator degenerates to the ODE integrator as τ → 0.
+
+use fpk_repro::congestion::theory::{sliding_share, ReturnMap};
+use fpk_repro::congestion::LinearExp;
+use fpk_repro::fluid::single::{simulate, FluidParams};
+use fpk_repro::fpk::fv::{advect_sweep, diffuse_crank_nicolson, Limiter};
+use fpk_repro::numerics::dde::DdeProblem;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_contracts_for_all_parameters(
+        c0 in 0.05f64..5.0,
+        c1 in 0.05f64..5.0,
+        q_hat in 0.5f64..50.0,
+        mu in 0.5f64..20.0,
+        frac in 0.01f64..0.99,
+    ) {
+        let law = LinearExp::new(c0, c1, q_hat);
+        let map = ReturnMap::new(law, mu).unwrap();
+        let lambda0 = frac * mu;
+        let contraction = map.contraction(lambda0).unwrap();
+        prop_assert!(contraction > 0.0 && contraction < 1.0,
+            "contraction {contraction} for c0={c0} c1={c1} q̂={q_hat} mu={mu} λ0={lambda0}");
+        // Iterating never overshoots past mu.
+        let rates = map.iterate(lambda0, 5).unwrap();
+        for r in rates {
+            prop_assert!(r < mu && r >= lambda0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sliding_shares_sum_to_mu_and_order_by_ratio(
+        ratios in prop::collection::vec((0.05f64..5.0, 0.05f64..5.0), 1..8),
+        mu in 0.5f64..50.0,
+    ) {
+        let laws: Vec<LinearExp> = ratios.iter()
+            .map(|&(c0, c1)| LinearExp::new(c0, c1, 10.0))
+            .collect();
+        let shares = sliding_share(&laws, mu).unwrap();
+        let total: f64 = shares.iter().sum();
+        prop_assert!((total - mu).abs() < 1e-9 * mu.max(1.0));
+        prop_assert!(shares.iter().all(|&s| s > 0.0));
+        // Ordering matches C0/C1 ordering.
+        for i in 0..laws.len() {
+            for j in 0..laws.len() {
+                let ri = laws[i].c0 / laws[i].c1;
+                let rj = laws[j].c0 / laws[j].c1;
+                if ri > rj {
+                    prop_assert!(shares[i] >= shares[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advection_conserves_mass_and_positivity(
+        profile in prop::collection::vec(0.0f64..10.0, 8..64),
+        vel_seed in prop::collection::vec(-3.0f64..3.0, 9..65),
+        courant in 0.05f64..0.95,
+        lim in prop::sample::select(vec![
+            Limiter::Upwind, Limiter::Minmod, Limiter::VanLeer, Limiter::Superbee
+        ]),
+    ) {
+        let n = profile.len();
+        let mut f = profile.clone();
+        // Build an (n+1)-face velocity field from the seed vector.
+        let vel: Vec<f64> = (0..=n).map(|k| vel_seed[k % vel_seed.len()]).collect();
+        // Sharp CFL for arbitrary (possibly diverging) fields: bound the
+        // per-cell outflow through both faces (see fv::advect_sweep docs).
+        let max_outflow = (0..n)
+            .map(|j| vel[j + 1].max(0.0) - vel[j].min(0.0))
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let dx = 1.0;
+        let dt = courant * dx / max_outflow;
+        let mut flux = vec![0.0; n + 1];
+        let mass0: f64 = f.iter().sum();
+        for _ in 0..20 {
+            advect_sweep(&mut f, &vel, dx, dt, lim, &mut flux);
+        }
+        let mass1: f64 = f.iter().sum();
+        prop_assert!((mass1 - mass0).abs() <= 1e-9 * mass0.max(1.0),
+            "mass {mass0} -> {mass1}");
+        prop_assert!(f.iter().all(|&v| v >= -1e-9), "negative density appeared");
+    }
+
+    #[test]
+    fn crank_nicolson_conserves_mass_any_r(
+        profile in prop::collection::vec(0.0f64..5.0, 8..48),
+        d in 0.01f64..10.0,
+        dt in 0.01f64..10.0,
+    ) {
+        let n = profile.len();
+        let mut f = profile.clone();
+        let mass0: f64 = f.iter().sum();
+        let mut b = [vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        let [b0, b1, b2, b3, b4] = &mut b;
+        diffuse_crank_nicolson(&mut f, d, 1.0, dt, b0, b1, b2, b3, b4).unwrap();
+        let mass1: f64 = f.iter().sum();
+        prop_assert!((mass1 - mass0).abs() <= 1e-9 * mass0.max(1.0));
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fluid_queue_never_negative(
+        c0 in 0.1f64..3.0,
+        c1 in 0.1f64..3.0,
+        q_hat in 0.5f64..20.0,
+        mu in 1.0f64..10.0,
+        q0 in 0.0f64..30.0,
+        lambda0 in 0.0f64..15.0,
+    ) {
+        let law = LinearExp::new(c0, c1, q_hat);
+        let traj = simulate(&law, &FluidParams {
+            mu, q0, lambda0, t_end: 30.0, dt: 1e-3,
+        }).unwrap();
+        prop_assert!(traj.q.iter().all(|&q| q >= 0.0));
+        prop_assert!(traj.lambda.iter().all(|&l| l >= 0.0));
+    }
+}
+
+proptest! {
+    // Fewer cases: each DDE solve is comparatively expensive.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dde_with_tiny_lag_matches_ode(
+        rate in 0.2f64..2.0,
+        y0 in 0.5f64..3.0,
+    ) {
+        // y' = -rate·y(t−τ) with τ → 0 approaches y' = -rate·y.
+        let phi = move |_t: f64, out: &mut [f64]| out[0] = y0;
+        let problem = DdeProblem {
+            lags: &[1e-4],
+            t0: 0.0,
+            t1: 2.0,
+            phi: &phi,
+            dim: 1,
+        };
+        let mut rhs = |_t: f64, _y: &[f64], delayed: &[Vec<f64>], d: &mut [f64]| {
+            d[0] = -rate * delayed[0][0];
+        };
+        let traj = problem.solve(&mut rhs, 2000).unwrap();
+        let yf = traj.last().unwrap().1[0];
+        let exact = y0 * (-rate * 2.0f64).exp();
+        prop_assert!((yf - exact).abs() < 2e-3 * y0,
+            "yf {yf} vs exact {exact} (rate {rate}, y0 {y0})");
+    }
+}
