@@ -8,7 +8,12 @@ use fpk_core::solver::{DiffusionScheme, FpProblem, FpSolver};
 use fpk_core::{Density, Limiter};
 use std::hint::black_box;
 
-fn solver_with(limiter: Limiter, scheme: DiffusionScheme, nq: usize, nnu: usize) -> FpSolver<LinearExp> {
+fn solver_with(
+    limiter: Limiter,
+    scheme: DiffusionScheme,
+    nq: usize,
+    nnu: usize,
+) -> FpSolver<LinearExp> {
     let law = LinearExp::new(1.0, 0.5, 10.0);
     let mut problem = FpProblem::new(law, 5.0, 0.4);
     problem.limiter = limiter;
@@ -86,7 +91,9 @@ fn bench_assembled_vs_matrix_free(c: &mut Criterion) {
     problem.limiter = Limiter::Upwind;
     let grid = Density::standard_grid(15.0, -4.0, 4.0, 40, 24).expect("grid");
     let init = Density::gaussian(grid, 5.0, 0.0, 1.5, 1.0).expect("init");
-    let dt = FpSolver::new(problem.clone(), init.clone()).expect("solver").max_dt();
+    let dt = FpSolver::new(problem.clone(), init.clone())
+        .expect("solver")
+        .max_dt();
 
     let mut group = c.benchmark_group("fp_assembled_vs_matrix_free");
     group.bench_function("matrix_free_step", |b| {

@@ -72,18 +72,31 @@ fn bench_dopri5(c: &mut Criterion) {
             d[0] = y[1];
             d[1] = -y[0];
         };
-        b.iter(|| solver.integrate(&mut f, 0.0, 100.0, black_box(&[1.0, 0.0])).expect("ode"));
+        b.iter(|| {
+            solver
+                .integrate(&mut f, 0.0, 100.0, black_box(&[1.0, 0.0]))
+                .expect("ode")
+        });
     });
 }
 
 fn bench_advect(c: &mut Criterion) {
     c.bench_function("advect_sweep_1024", |b| {
         let n = 1024;
-        let mut f: Vec<f64> = (0..n).map(|i| (-((i as f64 - 512.0) / 40.0).powi(2)).exp()).collect();
+        let mut f: Vec<f64> = (0..n)
+            .map(|i| (-((i as f64 - 512.0) / 40.0).powi(2)).exp())
+            .collect();
         let vel = vec![1.0; n + 1];
         let mut flux = vec![0.0; n + 1];
         b.iter(|| {
-            advect_sweep(black_box(&mut f), &vel, 1.0, 0.5, Limiter::VanLeer, &mut flux);
+            advect_sweep(
+                black_box(&mut f),
+                &vel,
+                1.0,
+                0.5,
+                Limiter::VanLeer,
+                &mut flux,
+            );
         });
     });
 }

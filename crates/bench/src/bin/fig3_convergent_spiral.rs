@@ -37,7 +37,11 @@ fn main() {
         .step_by(step.max(1))
         .map(|k| vec![fmt(traj.t[k], 1), fmt(traj.q[k], 3), fmt(nu[k], 3)])
         .collect();
-    print_table("Figure 3 — convergent spiral (q, nu) orbit", &["t", "q", "nu"], &rows);
+    print_table(
+        "Figure 3 — convergent spiral (q, nu) orbit",
+        &["t", "q", "nu"],
+        &rows,
+    );
 
     let crossings = section_crossings(&traj, law.q_hat);
     let rates: Vec<f64> = crossings.iter().map(|c| c.lambda).collect();

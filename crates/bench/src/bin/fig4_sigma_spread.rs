@@ -66,6 +66,9 @@ fn main() {
     println!("while std Q grows monotonically with sigma — variability spreads");
     println!("the operating point but does not move it.");
     let stds: Vec<f64> = rows.iter().map(|r| r.std_q).collect();
-    assert!(stds.windows(2).all(|w| w[1] > w[0]), "std must grow with sigma");
+    assert!(
+        stds.windows(2).all(|w| w[1] > w[0]),
+        "std must grow with sigma"
+    );
     write_json("fig4_sigma_spread", &rows);
 }

@@ -81,7 +81,14 @@ fn main() {
     }
     print_table(
         "Figure 5 — limit-cycle amplitude & period vs feedback delay τ",
-        &["tau", "fluid amp", "fluid period", "regime", "langevin amp", "±std"],
+        &[
+            "tau",
+            "fluid amp",
+            "fluid period",
+            "regime",
+            "langevin amp",
+            "±std",
+        ],
         &table,
     );
     println!("\nClaim (§7): delayed feedback introduces cyclic behaviour for every");

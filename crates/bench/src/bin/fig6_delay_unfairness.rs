@@ -101,7 +101,13 @@ fn main() {
     }
     print_table(
         "Figure 6 — throughput ratio (short/long) vs RTT ratio",
-        &["RTT ratio", "theory (∝1/τ)", "fluid (RTT-scaled)", "packets", "pure-delay (contrast)"],
+        &[
+            "RTT ratio",
+            "theory (∝1/τ)",
+            "fluid (RTT-scaled)",
+            "packets",
+            "pure-delay (contrast)",
+        ],
         &table,
     );
     println!("\nClaim (§7): sources with different feedback delays may get unequal");

@@ -62,7 +62,9 @@ fn main() {
     }
     print_table(
         "Figure 7 — f(t, q, nu) moments along the spiral",
-        &["t", "E[Q]", "E[nu]", "Var[Q]", "mode q", "mode nu", "|mass-1|", "boundary"],
+        &[
+            "t", "E[Q]", "E[nu]", "Var[Q]", "mode q", "mode nu", "|mass-1|", "boundary",
+        ],
         &table,
     );
     println!("\nShape check: the mode sweeps through the quadrant cycle of");

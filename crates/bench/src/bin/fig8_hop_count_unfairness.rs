@@ -70,7 +70,12 @@ fn main() {
     }
     print_table(
         "Figure 8 — long flow vs per-hop cross traffic on a K-hop tandem",
-        &["hops K", "long tput", "mean cross tput", "long share of a hop"],
+        &[
+            "hops K",
+            "long tput",
+            "mean cross tput",
+            "long share of a hop",
+        ],
         &table,
     );
     println!("\nClaim (intro, after Zhang/Jacobson): connections with more hops");
@@ -78,11 +83,17 @@ fn main() {
     println!("monotonically from 0.5 (K = 1, symmetric) as K grows — both its");
     println!("RTT and its compound marking probability scale with K.");
     let shares: Vec<f64> = rows.iter().map(|r| r.long_share_of_hop).collect();
-    assert!((shares[0] - 0.5).abs() < 0.1, "K=1 must be symmetric: {shares:?}");
+    assert!(
+        (shares[0] - 0.5).abs() < 0.1,
+        "K=1 must be symmetric: {shares:?}"
+    );
     assert!(
         shares.windows(2).all(|w| w[1] < w[0] + 0.02),
         "share must fall with K: {shares:?}"
     );
-    assert!(*shares.last().unwrap() < 0.3, "5-hop flow must be clearly penalised");
+    assert!(
+        *shares.last().unwrap() < 0.3,
+        "5-hop flow must be clearly penalised"
+    );
     write_json("fig8_hop_count_unfairness", &rows);
 }

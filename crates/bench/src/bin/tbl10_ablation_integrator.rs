@@ -70,7 +70,10 @@ fn main() {
         &table,
     );
     println!("\nReference (event-driven Dormand–Prince): ({q_ref:.9}, {l_ref:.9}),");
-    println!("computed in {ref_ms:.2} ms with {} switchings located.", reference.switchings.len());
+    println!(
+        "computed in {ref_ms:.2} ms with {} switchings located.",
+        reference.switchings.len()
+    );
     println!("\nReading: the error falls roughly linearly in dt — the switching");
     println!("discontinuity caps RK4 at first order globally — so production");
     println!("runs use dt ≤ 1e-3 of the system time scale, and validation work");

@@ -92,10 +92,7 @@ fn main() {
         let out = run(&cfg, &[src]).expect("sim");
         // MMPP-2 asymptotic index of dispersion.
         let (r_on, r_off) = (1.0 / mean_on, 1.0 / mean_off);
-        let (pi_on, pi_off) = (
-            r_off / (r_on + r_off),
-            r_on / (r_on + r_off),
-        );
+        let (pi_on, pi_off) = (r_off / (r_on + r_off), r_on / (r_on + r_off));
         let idc = 1.0 + 2.0 * peak * peak * pi_on * pi_off / (lambda * (r_on + r_off));
         let sigma2 = lambda * idc + mu;
         let fp_mean = sigma2 / (2.0 * (mu - lambda));
@@ -121,7 +118,15 @@ fn main() {
 
     print_table(
         "Table 11 — burstiness → queueing: FP (σ² from IDC) vs DES vs fluid",
-        &["traffic", "mean on", "IDC∞", "σ²", "FP E[Q]", "DES E[Q]", "fluid E[Q]"],
+        &[
+            "traffic",
+            "mean on",
+            "IDC∞",
+            "σ²",
+            "FP E[Q]",
+            "DES E[Q]",
+            "fluid E[Q]",
+        ],
         &table,
     );
     println!("\nReading: the fluid model predicts E[Q] = 0 for every row (λ < μ).");

@@ -71,7 +71,15 @@ fn main() {
     print_table(
         "Table 1 — Theorem 1: convergence of linear-increase/exponential-decrease",
         &[
-            "C0", "C1", "q̂", "mu", "lambda0", "contracting", "worst factor", "cycles→1%", "num-vs-analytic",
+            "C0",
+            "C1",
+            "q̂",
+            "mu",
+            "lambda0",
+            "contracting",
+            "worst factor",
+            "cycles→1%",
+            "num-vs-analytic",
         ],
         &table,
     );

@@ -86,8 +86,20 @@ fn main() {
         let ratios: Vec<f64> = cfg.iter().map(|&(c0, c1)| c0 / c1).collect();
         table.push(vec![
             format!("{ratios:?}"),
-            format!("{:?}", predicted.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()),
-            format!("{:?}", fluid.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                predicted
+                    .iter()
+                    .map(|v| (v * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
+            ),
+            format!(
+                "{:?}",
+                fluid
+                    .iter()
+                    .map(|v| (v * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
+            ),
             fmt(fluid_gap, 4),
             fmt(packet_gap, 4),
         ]);

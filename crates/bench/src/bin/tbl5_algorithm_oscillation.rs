@@ -104,6 +104,9 @@ fn main() {
         jrj_tau0.regime == "Damped" || jrj_tau0.regime == "Converged",
         "JRJ at tau=0 must not sustain: {jrj_tau0:?}"
     );
-    assert_eq!(ll_tau0.regime, "Sustained", "linear/linear must oscillate at tau=0");
+    assert_eq!(
+        ll_tau0.regime, "Sustained",
+        "linear/linear must oscillate at tau=0"
+    );
     write_json("tbl5_algorithm_oscillation", &rows);
 }

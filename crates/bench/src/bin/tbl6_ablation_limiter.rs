@@ -67,7 +67,15 @@ fn main() {
     }
     print_table(
         "Table 6 — limiter ablation at sigma² = 0 (all spreading is numerical)",
-        &["limiter", "Var[Q](t=6)", "inflation", "peak f", "|mass-1|", "min f", "ms"],
+        &[
+            "limiter",
+            "Var[Q](t=6)",
+            "inflation",
+            "peak f",
+            "|mass-1|",
+            "min f",
+            "ms",
+        ],
         &table,
     );
     println!("\nExpected ordering: the peak density is the clean sharpness metric");

@@ -45,7 +45,9 @@ fn main() {
         )
         .expect("dde");
         let s = cycle_summary(&traj, 0.3, 1e-6).expect("analysis");
-        let (a, p) = s.oscillation.map_or((0.0, 0.0), |o| (o.amplitude, o.period));
+        let (a, p) = s
+            .oscillation
+            .map_or((0.0, 0.0), |o| (o.amplitude, o.period));
         table.push(vec![fmt(tau, 2), fmt(a, 3), fmt(p, 2)]);
         amplitudes.push(a);
         periods.push(p);

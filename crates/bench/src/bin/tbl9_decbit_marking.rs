@@ -92,7 +92,14 @@ fn main() {
     }
     print_table(
         "Table 9 — instantaneous vs regeneration-averaged congestion marking",
-        &["marking", "q̂", "throughput", "util", "mean queue", "window std"],
+        &[
+            "marking",
+            "q̂",
+            "throughput",
+            "util",
+            "mean queue",
+            "window std",
+        ],
         &table,
     );
     println!("\nReading: averaging reacts only to *sustained* congestion, so it");

@@ -24,6 +24,16 @@
 //! JSON artefact to `results/` so `EXPERIMENTS.md` can be regenerated
 //! mechanically. Run all of them via
 //! `for b in $(ls crates/bench/src/bin | sed s/.rs//); do cargo run --release -p fpk-bench --bin $b; done`.
+//!
+//! # Example
+//!
+//! The table/number formatting helpers every binary shares:
+//!
+//! ```
+//! use fpk_bench::{fmt, print_table};
+//! assert_eq!(fmt(2.0 / 3.0, 3), "0.667");
+//! print_table("demo", &["n", "err"], &[vec!["8".into(), fmt(0.25, 2)]]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -107,7 +117,7 @@ mod tests {
     #[test]
     fn results_dir_is_writable() {
         let dir = results_dir();
-        assert!(dir.exists() || dir == PathBuf::from("."));
+        assert!(dir.exists() || dir == std::path::Path::new("."));
     }
 
     #[test]

@@ -209,7 +209,11 @@ mod tests {
         a.observe(4.0, 1.0); // regeneration: cycle [0,4) closes (area 20, dur 4)
         a.observe(5.0, 1.0);
         // Average = (prev area 20 + current 1·1)/(4 + 1) = 21/5.
-        assert!((a.average(5.0) - 4.2).abs() < 1e-12, "avg {}", a.average(5.0));
+        assert!(
+            (a.average(5.0) - 4.2).abs() < 1e-12,
+            "avg {}",
+            a.average(5.0)
+        );
     }
 
     #[test]

@@ -212,7 +212,11 @@ impl WindowAimd {
     /// The rate-based equivalent law (C0 = a/RTT², C1 = −ln d / RTT).
     #[must_use]
     pub fn to_rate_law(&self) -> LinearExp {
-        LinearExp::new(self.a / (self.rtt * self.rtt), -self.d.ln() / self.rtt, self.q_hat)
+        LinearExp::new(
+            self.a / (self.rtt * self.rtt),
+            -self.d.ln() / self.rtt,
+            self.q_hat,
+        )
     }
 
     /// One discrete window update as in Eq. 1.

@@ -25,6 +25,24 @@
 //!   switching line (Theorem 1 machinery) and the multi-source sliding-
 //!   mode equilibrium predicting each source's share `∝ C0_i / C1_i`.
 //! * [`fairness`] — Jain's index and related share metrics.
+//!
+//! # Example
+//!
+//! The JRJ law's two branches, and the sliding-mode share prediction
+//! `λ_i* ∝ C0_i/C1_i` it induces for competing sources:
+//!
+//! ```
+//! use fpk_congestion::theory::sliding_share;
+//! use fpk_congestion::{LinearExp, RateControl};
+//!
+//! let law = LinearExp::new(1.0, 0.5, 10.0);
+//! assert_eq!(law.g(4.0, 2.0), 1.0);   // q ≤ q̂: probe up at C0
+//! assert_eq!(law.g(12.0, 2.0), -1.0); // q > q̂: back off at −C1·λ
+//!
+//! let shares = sliding_share(&[law, LinearExp::new(3.0, 0.5, 10.0)], 8.0).unwrap();
+//! assert!((shares[1] / shares[0] - 3.0).abs() < 1e-12); // ∝ C0 ratio
+//! assert!((shares.iter().sum::<f64>() - 8.0).abs() < 1e-12);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

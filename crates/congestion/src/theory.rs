@@ -143,12 +143,7 @@ impl ReturnMap {
             // q(t) = C0 t²/2 = q̂ ⇒ t = sqrt(2 q̂ / C0).
             let t_rise = defect / c0;
             let t_refill = (2.0 * q_hat / c0).sqrt();
-            (
-                t_rise + t_refill,
-                mu + c0 * t_refill,
-                0.0,
-                true,
-            )
+            (t_rise + t_refill, mu + c0 * t_refill, 0.0, true)
         };
 
         // ---- Decrease phase: exponential decay of λ above q̂. ----

@@ -71,7 +71,7 @@ pub fn iterate_window_map(aimd: &WindowAimd, knee: f64, w0: f64, rounds: usize) 
 /// (0, 1), or `knee < 1`).
 #[must_use]
 pub fn sawtooth(aimd: &WindowAimd, knee: f64) -> Option<Sawtooth> {
-    if !(aimd.a > 0.0) || !(aimd.d > 0.0 && aimd.d < 1.0) || knee < 1.0 {
+    if !(aimd.a > 0.0 && aimd.d > 0.0 && aimd.d < 1.0) || knee < 1.0 {
         return None;
     }
     let w_peak = knee;
@@ -80,7 +80,8 @@ pub fn sawtooth(aimd: &WindowAimd, knee: f64) -> Option<Sawtooth> {
     if climb_steps > 10_000_000 {
         return None; // a ≈ 0 underflow
     }
-    let rtts_per_cycle = climb_steps + 1; // climbs + the cut round
+    // Climbs + the cut round.
+    let rtts_per_cycle = climb_steps + 1;
     // Average over the ladder trough, trough+a, …, ≈peak.
     let ws: Vec<f64> = (0..=climb_steps)
         .map(|k| (w_trough + k as f64 * aimd.a).min(w_peak))

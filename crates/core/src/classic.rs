@@ -68,7 +68,9 @@ impl<F: Fn(f64) -> f64> Classic1dSolver<F> {
         let mut f = initial.to_vec();
         f.iter_mut().for_each(|v| *v /= mass);
         // Face velocities a(q_face).
-        let vel: Vec<f64> = (0..=n).map(|k| (problem.drift)(problem.grid.face(k))).collect();
+        let vel: Vec<f64> = (0..=n)
+            .map(|k| (problem.drift)(problem.grid.face(k)))
+            .collect();
         let bufs = [
             vec![0.0; n],
             vec![0.0; n],
@@ -121,7 +123,11 @@ impl<F: Fn(f64) -> f64> Classic1dSolver<F> {
     /// default CFL factor [`DEFAULT_CFL`].
     #[must_use]
     pub fn max_dt(&self) -> f64 {
-        let vmax = self.vel.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-12);
+        let vmax = self
+            .vel
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-12);
         DEFAULT_CFL * self.problem.grid.dx() / vmax
     }
 
@@ -181,7 +187,12 @@ impl<F: Fn(f64) -> f64> Classic1dSolver<F> {
 /// (normalised over the truncated domain). Returns `None` when `λ ≥ μ`
 /// (no stationary density exists).
 #[must_use]
-pub fn stationary_exponential(grid: &Grid1d, lambda: f64, mu: f64, sigma2: f64) -> Option<Vec<f64>> {
+pub fn stationary_exponential(
+    grid: &Grid1d,
+    lambda: f64,
+    mu: f64,
+    sigma2: f64,
+) -> Option<Vec<f64>> {
     if lambda >= mu || sigma2 <= 0.0 {
         return None;
     }
@@ -261,19 +272,19 @@ mod tests {
             sigma2: -1.0,
             grid: grid.clone(),
         };
-        assert!(Classic1dSolver::new(p, &vec![1.0; 10]).is_err());
+        assert!(Classic1dSolver::new(p, &[1.0; 10]).is_err());
         let p2 = Classic1d {
             drift: |_q| -1.0,
             sigma2: 1.0,
             grid: grid.clone(),
         };
-        assert!(Classic1dSolver::new(p2, &vec![1.0; 7]).is_err());
+        assert!(Classic1dSolver::new(p2, &[1.0; 7]).is_err());
         let p3 = Classic1d {
             drift: |_q| -1.0,
             sigma2: 1.0,
             grid,
         };
-        assert!(Classic1dSolver::new(p3, &vec![0.0; 10]).is_err());
+        assert!(Classic1dSolver::new(p3, &[0.0; 10]).is_err());
     }
 
     #[test]

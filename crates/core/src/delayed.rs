@@ -90,7 +90,8 @@ pub fn simulate_delayed_path<L: RateControl>(
     path.nu.push(nu);
 
     for step in 0..n_steps {
-        let q_stale = history[head]; // oldest entry = Q(t − τ)
+        // Oldest entry = Q(t − τ).
+        let q_stale = history[head];
         // Sticky wall for the drift (paper convention), reflecting for
         // the noise — matching the PDE boundary treatment.
         let q_det = (q + nu * cfg.dt).max(0.0);

@@ -218,7 +218,13 @@ impl Density {
     ///
     /// # Errors
     /// Propagates [`Grid1d::new`] validation.
-    pub fn standard_grid(q_max: f64, nu_min: f64, nu_max: f64, nq: usize, nnu: usize) -> Result<Grid2d> {
+    pub fn standard_grid(
+        q_max: f64,
+        nu_min: f64,
+        nu_max: f64,
+        nq: usize,
+        nnu: usize,
+    ) -> Result<Grid2d> {
         Ok(Grid2d::new(
             Grid1d::new(0.0, q_max, nq)?,
             Grid1d::new(nu_min, nu_max, nnu)?,

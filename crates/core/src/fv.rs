@@ -43,7 +43,7 @@ impl Limiter {
         }
         match self {
             Limiter::Upwind => 0.0,
-            Limiter::Minmod => r.max(0.0).min(1.0),
+            Limiter::Minmod => r.clamp(0.0, 1.0),
             Limiter::VanLeer => {
                 if r <= 0.0 {
                     0.0
@@ -77,7 +77,14 @@ impl Limiter {
 ///
 /// # Panics
 /// Debug-asserts on length mismatches.
-pub fn advect_sweep(f: &mut [f64], vel: &[f64], dx: f64, dt: f64, limiter: Limiter, flux: &mut [f64]) {
+pub fn advect_sweep(
+    f: &mut [f64],
+    vel: &[f64],
+    dx: f64,
+    dt: f64,
+    limiter: Limiter,
+    flux: &mut [f64],
+) {
     let n = f.len();
     debug_assert_eq!(vel.len(), n + 1);
     debug_assert_eq!(flux.len(), n + 1);
@@ -147,8 +154,16 @@ pub fn diffuse_explicit(f: &mut [f64], d: f64, dx: f64, dt: f64, scratch: &mut [
     // boundary fluxes zero.
     scratch.copy_from_slice(f);
     for i in 0..n {
-        let left = if i == 0 { 0.0 } else { scratch[i] - scratch[i - 1] };
-        let right = if i == n - 1 { 0.0 } else { scratch[i + 1] - scratch[i] };
+        let left = if i == 0 {
+            0.0
+        } else {
+            scratch[i] - scratch[i - 1]
+        };
+        let right = if i == n - 1 {
+            0.0
+        } else {
+            scratch[i + 1] - scratch[i]
+        };
         f[i] += r * (right - left);
     }
 }
@@ -268,7 +283,10 @@ mod tests {
             advect_sweep(&mut f, &vel, 1.0, 0.4, Limiter::VanLeer, &mut flux);
         }
         assert!((mass(&f) - m0).abs() < 1e-10);
-        assert!(f[0] > f[n - 1], "mass should accumulate at the blocked wall");
+        assert!(
+            f[0] > f[n - 1],
+            "mass should accumulate at the blocked wall"
+        );
     }
 
     #[test]
@@ -285,7 +303,10 @@ mod tests {
         }
         assert!((mass(&f) - m0).abs() < 1e-10);
         let mid = n / 2;
-        assert!(f[mid] > 2.0 * f[1], "mass should focus at the convergence point");
+        assert!(
+            f[mid] > 2.0 * f[1],
+            "mass should focus at the convergence point"
+        );
     }
 
     #[test]
@@ -337,8 +358,13 @@ mod tests {
         }
         let mut fc = fe.clone();
         let mut scratch = vec![0.0; n];
-        let (mut sub, mut diag, mut sup, mut rhs, mut s2) =
-            (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let (mut sub, mut diag, mut sup, mut rhs, mut s2) = (
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+        );
         // Small dt so both schemes are accurate.
         for _ in 0..200 {
             diffuse_explicit(&mut fe, 0.5, 1.0, 0.1, &mut scratch);
@@ -357,8 +383,13 @@ mod tests {
         let n = 40;
         let mut f = vec![0.0; n];
         f[20] = 1.0;
-        let (mut sub, mut diag, mut sup, mut rhs, mut s2) =
-            (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let (mut sub, mut diag, mut sup, mut rhs, mut s2) = (
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+        );
         // r = 25 — far beyond the explicit stability limit. CN is stable
         // (bounded, conservative) but rings on a delta initial condition:
         // high-wavenumber modes have amplification factor → −1, so we

@@ -33,6 +33,25 @@
 //! * [`operator`] — the one-step evolution assembled as a sparse matrix:
 //!   conservation audits, power-iteration stationary solves, and the
 //!   matrix-free-vs-assembled ablation.
+//!
+//! # Example
+//!
+//! Evolve a Gaussian initial density under the JRJ law and check the
+//! invariants the finite-volume scheme guarantees by construction:
+//!
+//! ```
+//! use fpk_congestion::LinearExp;
+//! use fpk_core::solver::{FpProblem, FpSolver};
+//! use fpk_core::Density;
+//!
+//! let grid = Density::standard_grid(30.0, -5.0, 5.0, 40, 24).unwrap();
+//! let init = Density::gaussian(grid, 8.0, -1.0, 1.0, 0.5).unwrap();
+//! let law = LinearExp::new(1.0, 0.5, 10.0);
+//! let mut solver = FpSolver::new(FpProblem::new(law, 5.0, 0.3), init).unwrap();
+//! solver.run_until(0.2).unwrap();
+//! assert!((solver.density().mass() - 1.0).abs() < 1e-9);  // conservative
+//! assert!(solver.density().min_value() >= -1e-12);        // positive
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -10,7 +10,7 @@
 //! sample-path twin of the PDE with its zero-flux boundary; histograms of
 //! a particle ensemble must agree with the solver's marginals (experiment
 //! E4 — the KS distance is the reported metric). The ensemble runs in
-//! parallel with `crossbeam` scoped threads, one deterministic RNG stream
+//! parallel with `std::thread::scope`, one deterministic RNG stream
 //! per chunk, so results are bit-reproducible for a fixed (seed, thread
 //! count) pair and statistically identical across thread counts.
 
@@ -145,19 +145,18 @@ pub fn simulate_ensemble<L: RateControl + Sync>(
         }
     }
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (c, views) in snap_views.into_iter().enumerate() {
             let law = &law;
             let times = snapshot_times;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(c as u64));
                 let count = views.first().map_or(0, |(q, _)| q.len());
                 let mut qs = vec![0.0f64; count];
                 let mut nus = vec![0.0f64; count];
                 for p in 0..count {
                     qs[p] = (cfg.init_mean.0 + cfg.init_std.0 * gauss(&mut rng)).max(0.0);
-                    nus[p] =
-                        (cfg.init_mean.1 + cfg.init_std.1 * gauss(&mut rng)).max(-cfg.mu);
+                    nus[p] = (cfg.init_mean.1 + cfg.init_std.1 * gauss(&mut rng)).max(-cfg.mu);
                 }
                 let mut t = 0.0f64;
                 let mut views = views;
@@ -195,11 +194,7 @@ pub fn simulate_ensemble<L: RateControl + Sync>(
                 }
             });
         }
-    })
-    .map_err(|_| NumericsError::NoConvergence {
-        context: "simulate_ensemble: worker panicked",
-        iterations: 0,
-    })?;
+    });
     Ok(snaps)
 }
 
@@ -241,8 +236,14 @@ mod tests {
         assert_eq!(snaps.len(), 2);
         for s in &snaps {
             assert_eq!(s.q.len(), 20_000);
-            assert!(s.q.iter().all(|&q| q >= 0.0), "queue must stay non-negative");
-            assert!(s.nu.iter().all(|&nu| nu >= -5.0), "λ must stay non-negative");
+            assert!(
+                s.q.iter().all(|&q| q >= 0.0),
+                "queue must stay non-negative"
+            );
+            assert!(
+                s.nu.iter().all(|&nu| nu >= -5.0),
+                "λ must stay non-negative"
+            );
         }
     }
 

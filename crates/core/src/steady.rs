@@ -142,7 +142,11 @@ mod tests {
             "mean q {} should sit near q̂ = 10",
             r.moments.mean_q
         );
-        assert!(r.moments.mean_nu.abs() < 0.8, "mean ν {}", r.moments.mean_nu);
+        assert!(
+            r.moments.mean_nu.abs() < 0.8,
+            "mean ν {}",
+            r.moments.mean_nu
+        );
         assert!((r.density.mass() - 1.0).abs() < 1e-6);
     }
 

@@ -205,10 +205,17 @@ pub fn window_laws_for_delays(
 ///
 /// # Errors
 /// Propagates signal-analysis errors (traces shorter than a few samples).
-pub fn cycle_summary(traj: &MultiTrajectory, tail_fraction: f64, floor: f64) -> Result<CycleSummary> {
+pub fn cycle_summary(
+    traj: &MultiTrajectory,
+    tail_fraction: f64,
+    floor: f64,
+) -> Result<CycleSummary> {
     let oscillation = analyze_oscillation(&traj.t, &traj.q, tail_fraction)?;
     let regime = classify_regime(&traj.t, &traj.q, floor)?.into();
-    Ok(CycleSummary { oscillation, regime })
+    Ok(CycleSummary {
+        oscillation,
+        regime,
+    })
 }
 
 #[cfg(test)]
@@ -264,7 +271,12 @@ mod tests {
         let p = params_one(2.0);
         let traj = simulate_delayed(&[law()], &p).unwrap();
         let summary = cycle_summary(&traj, 0.3, 0.2).unwrap();
-        assert_eq!(summary.regime, RegimeLabel::Sustained, "{:?}", summary.oscillation);
+        assert_eq!(
+            summary.regime,
+            RegimeLabel::Sustained,
+            "{:?}",
+            summary.oscillation
+        );
         let osc = summary.oscillation.expect("should oscillate");
         assert!(osc.amplitude > 1.0, "amplitude {}", osc.amplitude);
         assert!(osc.cycles >= 3);
@@ -313,7 +325,10 @@ mod tests {
         let traj = simulate_delayed(&laws, &p).unwrap();
         let shares = traj.mean_rates_tail(0.5);
         let j = jain_index(&shares).unwrap();
-        assert!(j > 0.99, "pure-delay skew should be mild; Jain = {j}, {shares:?}");
+        assert!(
+            j > 0.99,
+            "pure-delay skew should be mild; Jain = {j}, {shares:?}"
+        );
     }
 
     #[test]
@@ -339,7 +354,10 @@ mod tests {
         let traj = simulate_delayed(&laws, &p).unwrap();
         let shares = traj.mean_rates_tail(0.5);
         let j = jain_index(&shares).unwrap();
-        assert!(j < 0.95, "RTT-scaled laws must be unfair; Jain = {j}, {shares:?}");
+        assert!(
+            j < 0.95,
+            "RTT-scaled laws must be unfair; Jain = {j}, {shares:?}"
+        );
         assert!(
             shares[0] > shares[1],
             "shorter connection should win: {shares:?}"
@@ -365,6 +383,9 @@ mod tests {
         let traj = simulate_delayed(&laws, &p).unwrap();
         let shares = traj.mean_rates_tail(0.25);
         let j = jain_index(&shares).unwrap();
-        assert!(j > 0.995, "equal delays should stay fair; Jain = {j}, {shares:?}");
+        assert!(
+            j > 0.995,
+            "equal delays should stay fair; Jain = {j}, {shares:?}"
+        );
     }
 }

@@ -76,7 +76,11 @@ pub fn trace_events<L: RateControl>(
     // A start exactly on the switching surface would fire the event at
     // t = 0; nudge it off along the direction of motion.
     if (q - q_hat).abs() < 1e-12 * (1.0 + q_hat) {
-        let dq = if q <= 0.0 && lambda < mu { 0.0 } else { lambda - mu };
+        let dq = if q <= 0.0 && lambda < mu {
+            0.0
+        } else {
+            lambda - mu
+        };
         q = q_hat + dq.signum() * 1e-12 * (1.0 + q_hat);
     }
     let mut switchings = Vec::new();
@@ -102,13 +106,8 @@ pub fn trace_events<L: RateControl>(
                 let mut rhs = |_t: f64, y: &[f64], d: &mut [f64]| {
                     d[0] = law.g(0.0, y[0]);
                 };
-                let out = solver.integrate_with_event(
-                    &mut rhs,
-                    t,
-                    t_end,
-                    &[lambda],
-                    |_t, y| y[0] - mu,
-                )?;
+                let out = solver
+                    .integrate_with_event(&mut rhs, t, t_end, &[lambda], |_t, y| y[0] - mu)?;
                 match out.event {
                     Some((te, ye)) => {
                         switchings.push(Switching {
@@ -121,8 +120,11 @@ pub fn trace_events<L: RateControl>(
                         q = 1e-14; // leave the boundary
                     }
                     None => {
-                        let (_, yf) =
-                            out.trajectory.last().map(|(a, b)| (*a, b.to_vec())).unwrap();
+                        let (_, yf) = out
+                            .trajectory
+                            .last()
+                            .map(|(a, b)| (*a, b.to_vec()))
+                            .unwrap();
                         lambda = yf[0];
                         q = 0.0;
                         break;
@@ -135,7 +137,11 @@ pub fn trace_events<L: RateControl>(
                 // above (only possible in the Below arc).
                 let mut rhs = |_t: f64, y: &[f64], d: &mut [f64]| {
                     let qe = y[0].max(0.0);
-                    d[0] = if qe <= 0.0 && y[1] < mu { 0.0 } else { y[1] - mu };
+                    d[0] = if qe <= 0.0 && y[1] < mu {
+                        0.0
+                    } else {
+                        y[1] - mu
+                    };
                     d[1] = law.g(qe, y[1]);
                 };
                 // Event function: product of signed distances — zero at
@@ -176,8 +182,11 @@ pub fn trace_events<L: RateControl>(
                         }
                     }
                     None => {
-                        let (_, yf) =
-                            out.trajectory.last().map(|(a, b)| (*a, b.to_vec())).unwrap();
+                        let (_, yf) = out
+                            .trajectory
+                            .last()
+                            .map(|(a, b)| (*a, b.to_vec()))
+                            .unwrap();
                         q = yf[0];
                         lambda = yf[1];
                         break;

@@ -24,6 +24,24 @@
 //!   cycle detection, per-source throughput under heterogeneous delays.
 //! * [`events`] — event-driven Dormand–Prince tracer resolving every
 //!   switching-surface crossing to ~1e-12 (the accuracy reference).
+//!
+//! # Example
+//!
+//! A JRJ-controlled fluid queue converging toward the limit point
+//! (q̂, μ), never going negative on the way:
+//!
+//! ```
+//! use fpk_congestion::LinearExp;
+//! use fpk_fluid::single::{simulate, FluidParams};
+//!
+//! let law = LinearExp::new(1.0, 0.5, 10.0);
+//! let traj = simulate(&law, &FluidParams {
+//!     mu: 5.0, q0: 2.0, lambda0: 1.0, t_end: 60.0, dt: 1e-3,
+//! }).unwrap();
+//! let (qf, lf) = traj.final_state();
+//! assert!(traj.q.iter().all(|&q| q >= 0.0));
+//! assert!((qf - 10.0).abs() < 2.0 && (lf - 5.0).abs() < 1.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

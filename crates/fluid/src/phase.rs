@@ -159,10 +159,7 @@ pub fn section_crossings(traj: &FluidTrajectory, q_hat: f64) -> Vec<SectionCross
 ///
 /// # Errors
 /// Propagates fluid integration errors.
-pub fn spiral_section_rates<L: RateControl>(
-    law: &L,
-    params: &FluidParams,
-) -> Result<Vec<f64>> {
+pub fn spiral_section_rates<L: RateControl>(law: &L, params: &FluidParams) -> Result<Vec<f64>> {
     let traj = simulate(law, params)?;
     Ok(section_crossings(&traj, law.q_hat())
         .into_iter()

@@ -244,10 +244,12 @@ impl DdeProblem<'_> {
                 break;
             }
             // RK4 stages with delayed lookups at the stage times.
-            let stage = |ts: f64, ys: &[f64], kout: &mut [f64],
-                             delayed: &mut [Vec<f64>],
-                             rhs: &mut R,
-                             history: &History| {
+            let stage = |ts: f64,
+                         ys: &[f64],
+                         kout: &mut [f64],
+                         delayed: &mut [Vec<f64>],
+                         rhs: &mut R,
+                         history: &History| {
                 for (k, &lag) in self.lags.iter().enumerate() {
                     history.eval(ts - lag, &mut delayed[k]);
                 }
@@ -414,8 +416,7 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         let phi = |_t: f64, out: &mut [f64]| out[0] = 1.0;
-        let mut rhs =
-            |_t: f64, _y: &[f64], _d: &[Vec<f64>], d: &mut [f64]| d[0] = 0.0;
+        let mut rhs = |_t: f64, _y: &[f64], _d: &[Vec<f64>], d: &mut [f64]| d[0] = 0.0;
         let bad_lag = DdeProblem {
             lags: &[0.0],
             t0: 0.0,

@@ -153,7 +153,10 @@ pub fn power_spectrum(signal: &[f64], dt: f64) -> Result<(Vec<f64>, Vec<f64>)> {
     let df = 1.0 / (n as f64 * dt);
     let half = n / 2;
     let freqs: Vec<f64> = (0..half).map(|k| k as f64 * df).collect();
-    let power: Vec<f64> = spec[..half].iter().map(|c| c.norm_sq() / n as f64).collect();
+    let power: Vec<f64> = spec[..half]
+        .iter()
+        .map(|c| c.norm_sq() / n as f64)
+        .collect();
     Ok((freqs, power))
 }
 

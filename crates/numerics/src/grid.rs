@@ -217,7 +217,7 @@ mod tests {
             Grid1d::new(0.0, 1.0, 4).unwrap(),
         );
         assert_eq!(g.len(), 12);
-        let mut seen = vec![false; 12];
+        let mut seen = [false; 12];
         for i in 0..3 {
             for j in 0..4 {
                 let k = g.idx(i, j);

@@ -170,11 +170,21 @@ mod tests {
         let xs = [0.0, 1.0, 2.0, 3.0];
         let ys = [1.0, 3.0, 5.0, 7.0]; // y = 1 + 2x
         for &x in &[0.0, 0.4, 1.5, 2.9, 3.0] {
-            assert!(approx_eq(linear(&xs, &ys, x).unwrap(), 1.0 + 2.0 * x, 1e-14, 1e-14));
+            assert!(approx_eq(
+                linear(&xs, &ys, x).unwrap(),
+                1.0 + 2.0 * x,
+                1e-14,
+                1e-14
+            ));
         }
         // extrapolation continues the end segments
         assert!(approx_eq(linear(&xs, &ys, 4.0).unwrap(), 9.0, 1e-14, 0.0));
-        assert!(approx_eq(linear(&xs, &ys, -1.0).unwrap(), -1.0, 1e-13, 1e-13));
+        assert!(approx_eq(
+            linear(&xs, &ys, -1.0).unwrap(),
+            -1.0,
+            1e-13,
+            1e-13
+        ));
     }
 
     #[test]
@@ -226,7 +236,10 @@ mod tests {
                 max_err_interior = max_err_interior.max(e);
             }
         }
-        assert!(max_err_interior < 1e-5, "interior spline error {max_err_interior}");
+        assert!(
+            max_err_interior < 1e-5,
+            "interior spline error {max_err_interior}"
+        );
         assert!(max_err_all < 2e-3, "overall spline error {max_err_all}");
     }
 

@@ -30,6 +30,24 @@
 //! workloads are CPU-bound inner loops (PDE sweeps, Monte-Carlo batches),
 //! so the hot paths take `&mut [f64]` buffers the caller owns and reuses.
 //! All algorithms are deterministic; nothing here seeds its own RNG.
+//!
+//! # Example
+//!
+//! The Thomas solve at the heart of every Crank–Nicolson sweep:
+//!
+//! ```
+//! use fpk_numerics::linalg::solve_tridiagonal;
+//! // [ 2 -1  0 ] x = [1, 0, 1]ᵀ  →  x = [1, 1, 1]ᵀ
+//! // [-1  2 -1 ]
+//! // [ 0 -1  2 ]
+//! let (sub, diag, sup) = (vec![-1.0; 3], vec![2.0; 3], vec![-1.0; 3]);
+//! let mut d = vec![1.0, 0.0, 1.0];
+//! let mut scratch = vec![0.0; 3];
+//! solve_tridiagonal(&sub, &diag, &sup, &mut d, &mut scratch).unwrap();
+//! for x in d {
+//!     assert!((x - 1.0).abs() < 1e-12);
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -91,7 +109,10 @@ impl std::fmt::Display for NumericsError {
             NumericsError::NoConvergence {
                 context,
                 iterations,
-            } => write!(f, "no convergence in {context} after {iterations} iterations"),
+            } => write!(
+                f,
+                "no convergence in {context} after {iterations} iterations"
+            ),
             NumericsError::Singular { context } => write!(f, "singular system in {context}"),
             NumericsError::InvalidParameter { context } => {
                 write!(f, "invalid parameter: {context}")

@@ -448,9 +448,7 @@ impl Dopri5 {
                     if g_old * g_new < 0.0 {
                         // Bisect the crossing using Hermite dense output over
                         // [t, t_new]: value/slope pairs (y, k0) and (y5, k6).
-                        let (te, ye) = hermite_bisect_event(
-                            t, &y, &k[0], t_new, &y5, &k[6], h, ev,
-                        );
+                        let (te, ye) = hermite_bisect_event(t, &y, &k[0], t_new, &y5, &k[6], h, ev);
                         traj.t.push(te);
                         traj.y.push(ye.clone());
                         return Ok(EventOutcome {
@@ -564,7 +562,10 @@ mod tests {
         let e_coarse = (coarse.last().unwrap().1[0] - exact).abs();
         let e_fine = (fine.last().unwrap().1[0] - exact).abs();
         // halving h should roughly halve the error
-        assert!(e_fine < 0.6 * e_coarse, "e_coarse={e_coarse} e_fine={e_fine}");
+        assert!(
+            e_fine < 0.6 * e_coarse,
+            "e_coarse={e_coarse} e_fine={e_fine}"
+        );
     }
 
     #[test]
@@ -589,9 +590,15 @@ mod tests {
     #[test]
     fn rk4_oscillator_energy() {
         let mut f = oscillator;
-        let traj =
-            integrate_fixed(&mut f, FixedMethod::Rk4, 0.0, 2.0 * std::f64::consts::PI, &[1.0, 0.0], 1000)
-                .unwrap();
+        let traj = integrate_fixed(
+            &mut f,
+            FixedMethod::Rk4,
+            0.0,
+            2.0 * std::f64::consts::PI,
+            &[1.0, 0.0],
+            1000,
+        )
+        .unwrap();
         let yf = traj.last().unwrap().1;
         assert!(approx_eq(yf[0], 1.0, 0.0, 1e-8));
         assert!(approx_eq(yf[1], 0.0, 0.0, 1e-8));
@@ -675,7 +682,10 @@ mod tests {
             .integrate_with_event(&mut f, 0.0, 10.0, &[1.0, 0.0], |_t, y| y[0])
             .unwrap();
         let (te, _) = out.event.expect("event should fire");
-        assert!(approx_eq(te, std::f64::consts::FRAC_PI_2, 1e-8, 1e-8), "te={te}");
+        assert!(
+            approx_eq(te, std::f64::consts::FRAC_PI_2, 1e-8, 1e-8),
+            "te={te}"
+        );
     }
 
     #[test]

@@ -177,8 +177,14 @@ mod tests {
 
     #[test]
     fn brent_min_parabola() {
-        let (x, fx) = brent_min(|x| 3.0 * (x + 1.2) * (x + 1.2) - 4.0, -10.0, 10.0, 1e-10, 200)
-            .unwrap();
+        let (x, fx) = brent_min(
+            |x| 3.0 * (x + 1.2) * (x + 1.2) - 4.0,
+            -10.0,
+            10.0,
+            1e-10,
+            200,
+        )
+        .unwrap();
         assert!(approx_eq(x, -1.2, 1e-7, 1e-7), "x = {x}");
         assert!(approx_eq(fx, -4.0, 1e-9, 1e-9));
     }
@@ -188,7 +194,12 @@ mod tests {
         // min of x·e^x on [-5, 0] is at x = -1 with value -1/e.
         let (x, fx) = brent_min(|x: f64| x * x.exp(), -5.0, 0.0, 1e-10, 200).unwrap();
         assert!(approx_eq(x, -1.0, 1e-6, 1e-6), "x = {x}");
-        assert!(approx_eq(fx, -(-1.0f64).exp().recip().recip() * (-1.0f64).exp() * 1.0, 1.0, 1.0));
+        assert!(approx_eq(
+            fx,
+            -(-1.0f64).exp().recip().recip() * (-1.0f64).exp() * 1.0,
+            1.0,
+            1.0
+        ));
         assert!((fx + (1.0f64 / std::f64::consts::E)).abs() < 1e-9);
     }
 

@@ -171,8 +171,13 @@ mod tests {
     #[test]
     fn adaptive_simpson_peaked() {
         // Narrow Gaussian: ∫ exp(-100 (x-0.5)^2) dx over [0,1] ≈ sqrt(pi/100).
-        let v = adaptive_simpson(|x: f64| (-100.0 * (x - 0.5) * (x - 0.5)).exp(), 0.0, 1.0, 1e-10)
-            .unwrap();
+        let v = adaptive_simpson(
+            |x: f64| (-100.0 * (x - 0.5) * (x - 0.5)).exp(),
+            0.0,
+            1.0,
+            1e-10,
+        )
+        .unwrap();
         let exact = (std::f64::consts::PI / 100.0).sqrt();
         assert!(approx_eq(v, exact, 1e-7, 1e-10), "{v} vs {exact}");
     }

@@ -172,7 +172,12 @@ mod tests {
 
     #[test]
     fn bisect_endpoint_roots() {
-        assert!(approx_eq(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0, 0.0, 1e-12));
+        assert!(approx_eq(
+            bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(),
+            0.0,
+            0.0,
+            1e-12
+        ));
         assert!(approx_eq(
             bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(),
             1.0,

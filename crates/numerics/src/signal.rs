@@ -44,11 +44,13 @@ pub fn find_peaks(t: &[f64], x: &[f64]) -> Result<Vec<Peak>> {
     let mut run_start = 0usize; // start of the current equal-value run
     let mut i = 0usize;
     while i + 1 < n {
-        let d = (x[i + 1] - x[i]).partial_cmp(&0.0).map_or(0i8, |o| match o {
-            std::cmp::Ordering::Greater => 1,
-            std::cmp::Ordering::Less => -1,
-            std::cmp::Ordering::Equal => 0,
-        });
+        let d = (x[i + 1] - x[i])
+            .partial_cmp(&0.0)
+            .map_or(0i8, |o| match o {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+            });
         if d == 0 {
             i += 1;
             continue; // extend the plateau; run_start stays put
@@ -97,7 +99,11 @@ pub struct Oscillation {
 /// # Errors
 /// Propagates [`find_peaks`] errors; rejects `tail_fraction` outside
 /// `(0, 1]`.
-pub fn analyze_oscillation(t: &[f64], x: &[f64], tail_fraction: f64) -> Result<Option<Oscillation>> {
+pub fn analyze_oscillation(
+    t: &[f64],
+    x: &[f64],
+    tail_fraction: f64,
+) -> Result<Option<Oscillation>> {
     if !(tail_fraction > 0.0 && tail_fraction <= 1.0) {
         return Err(NumericsError::InvalidParameter {
             context: "analyze_oscillation: tail_fraction must lie in (0, 1]",
@@ -184,7 +190,11 @@ pub fn classify_regime(t: &[f64], x: &[f64], floor: f64) -> Result<Regime> {
     let amp = |lo: usize, hi: usize| -> Result<f64> {
         let peaks = find_peaks(&t[lo..hi], &x[lo..hi])?;
         let maxima: Vec<f64> = peaks.iter().filter(|p| p.is_max).map(|p| p.value).collect();
-        let minima: Vec<f64> = peaks.iter().filter(|p| !p.is_max).map(|p| p.value).collect();
+        let minima: Vec<f64> = peaks
+            .iter()
+            .filter(|p| !p.is_max)
+            .map(|p| p.value)
+            .collect();
         if maxima.is_empty() || minima.is_empty() {
             // No oscillation in this window; use the raw range.
             let w = &x[lo..hi];
@@ -276,7 +286,12 @@ mod tests {
         let minima: Vec<&Peak> = peaks.iter().filter(|p| !p.is_max).collect();
         assert_eq!(maxima.len(), 2);
         assert_eq!(minima.len(), 2);
-        assert!(approx_eq(maxima[0].t, std::f64::consts::FRAC_PI_2, 1e-2, 1e-2));
+        assert!(approx_eq(
+            maxima[0].t,
+            std::f64::consts::FRAC_PI_2,
+            1e-2,
+            1e-2
+        ));
         assert!(approx_eq(maxima[0].value, 1.0, 1e-4, 1e-4));
     }
 
@@ -290,7 +305,11 @@ mod tests {
         let (t, x) = sampled(|t| 5.0 + 2.0 * (t * 2.0).sin(), 40.0, 4000);
         let osc = analyze_oscillation(&t, &x, 1.0).unwrap().unwrap();
         // peak-to-peak = 4, period = pi
-        assert!(approx_eq(osc.amplitude, 4.0, 1e-2, 1e-2), "amp={}", osc.amplitude);
+        assert!(
+            approx_eq(osc.amplitude, 4.0, 1e-2, 1e-2),
+            "amp={}",
+            osc.amplitude
+        );
         assert!(approx_eq(osc.period, std::f64::consts::PI, 1e-2, 1e-2));
         assert!(approx_eq(osc.mean_level, 5.0, 1e-2, 1e-2));
         assert!(osc.cycles >= 10);
@@ -309,7 +328,10 @@ mod tests {
         let (t, x) = sampled(|t| (-0.2 * t).exp() * (2.0 * t).cos(), 30.0, 6000);
         let c = contraction_factor(&t, &x, 0.0).unwrap().unwrap();
         let expected = (-0.2 * std::f64::consts::PI).exp();
-        assert!(approx_eq(c, expected, 0.05, 0.0), "c={c} expected={expected}");
+        assert!(
+            approx_eq(c, expected, 0.05, 0.0),
+            "c={c} expected={expected}"
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ impl CooBuilder {
     /// exact zeros.
     #[must_use]
     pub fn build(mut self) -> CsrMatrix {
-        self.entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut row_ptr = vec![0usize; self.rows + 1];
         let mut col_idx = Vec::with_capacity(self.entries.len());
         let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
@@ -177,7 +177,11 @@ impl CsrMatrix {
     #[must_use]
     pub fn row_sums(&self) -> Vec<f64> {
         (0..self.rows)
-            .map(|i| self.values[self.row_ptr[i]..self.row_ptr[i + 1]].iter().sum())
+            .map(|i| {
+                self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+                    .iter()
+                    .sum()
+            })
             .collect()
     }
 
@@ -197,7 +201,8 @@ impl CsrMatrix {
     /// row-major order.
     pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |i| {
-            (self.row_ptr[i]..self.row_ptr[i + 1]).map(move |k| (i, self.col_idx[k], self.values[k]))
+            (self.row_ptr[i]..self.row_ptr[i + 1])
+                .map(move |k| (i, self.col_idx[k], self.values[k]))
         })
     }
 }

@@ -260,7 +260,10 @@ pub fn run_with_faults(
                     }
                     ev.push(t + prop_delay, EventKind::Arrival { flow });
                     let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                    ev.push(t - u.ln() / peak_rate.max(1e-9), EventKind::SendPacket { flow });
+                    ev.push(
+                        t - u.ln() / peak_rate.max(1e-9),
+                        EventKind::SendPacket { flow },
+                    );
                 }
                 _ => unreachable!("SendPacket for a window flow"),
             },
@@ -291,10 +294,16 @@ pub fn run_with_faults(
                         unreachable!()
                     };
                     let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                    ev.push(t - u.ln() / peak_rate.max(1e-9), EventKind::SendPacket { flow });
+                    ev.push(
+                        t - u.ln() / peak_rate.max(1e-9),
+                        EventKind::SendPacket { flow },
+                    );
                 }
                 let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                ev.push(t - u.ln() * sojourn_mean.max(1e-9), EventKind::Toggle { flow });
+                ev.push(
+                    t - u.ln() * sojourn_mean.max(1e-9),
+                    EventKind::Toggle { flow },
+                );
             }
             EventKind::Arrival { flow } => {
                 // Random link loss (fault injection).
@@ -373,7 +382,10 @@ pub fn run_with_faults(
                     sources[flow],
                     SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
                 ) {
-                    ev.push(t + sources[flow].prop_delay(), EventKind::Ack { flow, marked });
+                    ev.push(
+                        t + sources[flow].prop_delay(),
+                        EventKind::Ack { flow, marked },
+                    );
                 }
                 if q_len > 0 {
                     ev.push(t + service_time(&mut rng, config), EventKind::Departure);
@@ -428,10 +440,7 @@ pub fn run_with_faults(
                         };
                         (window.floor().max(1.0) as u64, in_flight)
                     }
-                    (
-                        SourceSpec::Decbit { .. },
-                        SourceState::Decbit { ctl, in_flight },
-                    ) => {
+                    (SourceSpec::Decbit { .. }, SourceState::Decbit { ctl, in_flight }) => {
                         *in_flight = in_flight.saturating_sub(1);
                         let _ = ctl.on_ack(marked);
                         (ctl.window().floor().max(1.0) as u64, in_flight)
@@ -680,8 +689,8 @@ mod tests {
 #[cfg(test)]
 mod fault_tests {
     use super::*;
-    use fpk_congestion::WindowAimd;
     use crate::source::SourceSpec;
+    use fpk_congestion::WindowAimd;
 
     fn cfg() -> SimConfig {
         SimConfig {
@@ -704,8 +713,8 @@ mod fault_tests {
 
     #[test]
     fn loss_injection_counts_drops() {
-        let out = run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.05 })
-            .unwrap();
+        let out =
+            run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.05 }).unwrap();
         assert!(out.flows[0].dropped > 0, "expected injected drops");
         // Roughly 5% of sent packets should be lost.
         let frac = out.flows[0].dropped as f64 / out.flows[0].sent.max(1) as f64;
@@ -715,8 +724,8 @@ mod fault_tests {
     #[test]
     fn loss_reduces_window_flow_throughput() {
         let clean = run(&cfg(), &[window_src()]).unwrap();
-        let lossy = run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.08 })
-            .unwrap();
+        let lossy =
+            run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.08 }).unwrap();
         assert!(
             lossy.flows[0].throughput < 0.8 * clean.flows[0].throughput,
             "loss should depress throughput: {} vs {}",
@@ -728,15 +737,16 @@ mod fault_tests {
     #[test]
     fn zero_loss_matches_plain_run() {
         let a = run(&cfg(), &[window_src()]).unwrap();
-        let b = run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.0 })
-            .unwrap();
+        let b = run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.0 }).unwrap();
         assert_eq!(a.flows[0].delivered, b.flows[0].delivered);
     }
 
     #[test]
     fn rejects_invalid_loss_prob() {
         assert!(run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 1.0 }).is_err());
-        assert!(run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: -0.1 }).is_err());
+        assert!(
+            run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: -0.1 }).is_err()
+        );
     }
 }
 
@@ -781,11 +791,7 @@ mod decbit_tests {
     #[test]
     fn decbit_window_stays_bounded() {
         let out = run(&cfg(), &[decbit_src(3.0)]).unwrap();
-        let max_w = out
-            .trace_ctl
-            .iter()
-            .map(|c| c[0])
-            .fold(f64::MIN, f64::max);
+        let max_w = out.trace_ctl.iter().map(|c| c[0]).fold(f64::MIN, f64::max);
         assert!(max_w < 60.0, "window should not blow up: {max_w}");
         assert!(max_w >= 1.0);
     }
@@ -911,7 +917,7 @@ mod onoff_tests {
     fn trace_records_phase() {
         let out = run(&cfg(200.0), &[onoff(5.0, 0.5, 1.0)]).unwrap();
         let phases: Vec<f64> = out.trace_ctl.iter().map(|c| c[0]).collect();
-        assert!(phases.iter().any(|&p| p == 1.0), "should see ON samples");
-        assert!(phases.iter().any(|&p| p == 0.0), "should see OFF samples");
+        assert!(phases.contains(&1.0), "should see ON samples");
+        assert!(phases.contains(&0.0), "should see OFF samples");
     }
 }

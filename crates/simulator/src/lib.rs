@@ -17,6 +17,29 @@
 //!
 //! Every run is reproducible from its seed; experiments in
 //! `EXPERIMENTS.md` quote the seeds they used.
+//!
+//! # Example
+//!
+//! One adaptive JRJ source against a deterministic bottleneck, short
+//! horizon (identical seeds give identical results):
+//!
+//! ```
+//! use fpk_congestion::LinearExp;
+//! use fpk_sim::{run, Service, SimConfig, SourceSpec};
+//!
+//! let cfg = SimConfig {
+//!     mu: 50.0, service: Service::Deterministic, buffer: None,
+//!     t_end: 5.0, warmup: 1.0, sample_interval: 0.1, seed: 7,
+//! };
+//! let src = SourceSpec::Rate {
+//!     law: LinearExp::new(8.0, 0.5, 10.0),
+//!     lambda0: 20.0, update_interval: 0.1, prop_delay: 0.01, poisson: true,
+//! };
+//! let out = run(&cfg, std::slice::from_ref(&src)).unwrap();
+//! let rerun = run(&cfg, std::slice::from_ref(&src)).unwrap();
+//! assert!(out.total_throughput > 0.0);
+//! assert_eq!(out.trace_q, rerun.trace_q);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

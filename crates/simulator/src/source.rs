@@ -244,7 +244,9 @@ mod tests {
             w0: 4.0,
         };
         match w.initial_state() {
-            SourceState::Window { window, in_flight, .. } => {
+            SourceState::Window {
+                window, in_flight, ..
+            } => {
                 assert_eq!(window, 4.0);
                 assert_eq!(in_flight, 0);
             }

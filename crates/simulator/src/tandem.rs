@@ -87,7 +87,11 @@ pub struct TandemResult {
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Kind {
     /// Packet of `flow` arrives at queue `hop`.
-    Arrive { flow: usize, hop: usize, marked: bool },
+    Arrive {
+        flow: usize,
+        hop: usize,
+        marked: bool,
+    },
     /// Head-of-line departure at queue `hop`.
     Depart { hop: usize },
     /// Ack returns to `flow`.
@@ -349,7 +353,11 @@ mod tests {
             last_hop: 0,
         }];
         let out = run_tandem(&config(1), &flows).unwrap();
-        assert!(out.flows[0].delivered > 1000, "delivered {}", out.flows[0].delivered);
+        assert!(
+            out.flows[0].delivered > 1000,
+            "delivered {}",
+            out.flows[0].delivered
+        );
         assert_eq!(out.flows[0].hops, 1);
         assert!(out.mean_queue[0] > 0.0);
     }
@@ -425,11 +433,11 @@ mod tests {
             first_hop: 0,
             last_hop: 2,
         };
-        assert!(run_tandem(&config(2), &[f.clone()]).is_err()); // route too long
-        assert!(run_tandem(&config(0), &[f.clone()]).is_err());
+        assert!(run_tandem(&config(2), std::slice::from_ref(&f)).is_err()); // route too long
+        assert!(run_tandem(&config(0), std::slice::from_ref(&f)).is_err());
         let mut cfg = config(3);
         cfg.mu[1] = 0.0;
-        assert!(run_tandem(&cfg, &[f.clone()]).is_err());
+        assert!(run_tandem(&cfg, std::slice::from_ref(&f)).is_err());
         let mut cfg2 = config(3);
         cfg2.warmup = cfg2.t_end;
         assert!(run_tandem(&cfg2, &[f]).is_err());

@@ -13,7 +13,9 @@
 use fpk_repro::congestion::fairness::jain_index;
 use fpk_repro::congestion::theory::sliding_share;
 use fpk_repro::congestion::{LinearExp, WindowAimd};
-use fpk_repro::fluid::delay::{cycle_summary, simulate_delayed, window_laws_for_delays, DelayParams};
+use fpk_repro::fluid::delay::{
+    cycle_summary, simulate_delayed, window_laws_for_delays, DelayParams,
+};
 use fpk_repro::sim::{run, Service, SimConfig, SourceSpec};
 
 fn main() {

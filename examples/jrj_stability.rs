@@ -41,9 +41,7 @@ fn main() {
             (mu - w[1]) / (mu - w[0])
         );
     }
-    println!(
-        "  ... the contraction factor approaches 1 - (2/3)(mu - lambda)/mu: the"
-    );
+    println!("  ... the contraction factor approaches 1 - (2/3)(mu - lambda)/mu: the");
     println!("  defect decays harmonically (~3mu/2n) — convergence 'in the limit'.");
     println!();
 
@@ -56,8 +54,14 @@ fn main() {
         dt: 2e-4,
     };
     let numeric = spiral_section_rates(&law, &params).expect("trace");
-    println!("  upward-crossing rates: {:?}",
-        numeric.iter().take(6).map(|r| (r * 1e4).round() / 1e4).collect::<Vec<_>>());
+    println!(
+        "  upward-crossing rates: {:?}",
+        numeric
+            .iter()
+            .take(6)
+            .map(|r| (r * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
+    );
     let report = theorem1::verify(law, mu, 0.5, 8, 5e-4).expect("verification");
     println!("  {}", report.verdict());
     println!();
@@ -65,9 +69,7 @@ fn main() {
     println!("=== Linear decrease: oscillation WITHOUT delay ===");
     let ll = LinearLinear::new(1.0, 1.0, 10.0);
     let (lambda_back, period) = linear_linear_cycle(&ll, mu, 4.0).expect("closed orbit");
-    println!(
-        "  starting the linear/linear law at lambda = 4.0 returns to lambda = {lambda_back}"
-    );
+    println!("  starting the linear/linear law at lambda = 4.0 returns to lambda = {lambda_back}");
     println!("  after exactly one period T = {period:.3}: the orbit is CLOSED —");
     println!("  this algorithm oscillates even with instantaneous feedback,");
     println!("  while the exponential decrease of JRJ contracts every cycle.");

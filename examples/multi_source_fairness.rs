@@ -28,7 +28,10 @@ fn main() {
     let traj = simulate_multi(&laws, &params).expect("fluid");
     let shares = traj.mean_rates_tail(0.25);
     println!("  start rates (0, 1, 2, 3) → tail shares {shares:?}");
-    println!("  Jain index = {:.5} (1 = perfectly fair)", jain_index(&shares).expect("jain"));
+    println!(
+        "  Jain index = {:.5} (1 = perfectly fair)",
+        jain_index(&shares).expect("jain")
+    );
     println!();
 
     println!("=== E6b: heterogeneous parameters (fluid vs theory) ===");
@@ -75,7 +78,10 @@ fn main() {
     };
     // Packet-level heterogeneity: C0 of 4 vs 8 (C0/C1 ratios 8 vs 16 → 1:2).
     let out = run(&cfg, &[mk(4.0), mk(8.0)]).expect("simulation");
-    let rate_laws = [LinearExp::new(4.0, 0.5, 12.0), LinearExp::new(8.0, 0.5, 12.0)];
+    let rate_laws = [
+        LinearExp::new(4.0, 0.5, 12.0),
+        LinearExp::new(8.0, 0.5, 12.0),
+    ];
     let predicted = sliding_share(&rate_laws, out.total_throughput).expect("theory");
     println!(
         "  measured throughputs = ({:.2}, {:.2}) pkts/s",

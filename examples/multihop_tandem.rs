@@ -83,8 +83,12 @@ fn main() {
         w0: 2.0,
     };
     for loss in [0.0, 0.02, 0.05, 0.10] {
-        let out = run_with_faults(&cfg, &[src.clone()], &FaultConfig { loss_prob: loss })
-            .expect("sim");
+        let out = run_with_faults(
+            &cfg,
+            std::slice::from_ref(&src),
+            &FaultConfig { loss_prob: loss },
+        )
+        .expect("sim");
         println!(
             "  loss {:>4.0}%: throughput {:>6.1} pkts/s, drops {:>5}, mean queue {:>5.1}",
             loss * 100.0,

@@ -36,8 +36,10 @@ fn main() {
     };
     let traj = simulate(&law, &params).expect("fluid integration");
     let (qf, lf) = traj.final_state();
-    println!("[fluid] after t = {}: Q = {qf:.3} (target {}), lambda = {lf:.3} (mu = {mu})",
-        params.t_end, law.q_hat);
+    println!(
+        "[fluid] after t = {}: Q = {qf:.3} (target {}), lambda = {lf:.3} (mu = {mu})",
+        params.t_end, law.q_hat
+    );
 
     let map = ReturnMap::new(law, mu).expect("valid return map");
     let contraction = map.contraction(1.0).expect("cycle");

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Run the four criterion benches in quick mode and merge their results
+# into one machine-readable baseline, BENCH_baseline.json.
+#
+# Quick mode (FPK_BENCH_QUICK=1, honoured by the vendored criterion —
+# see DESIGN.md §Vendoring) cuts per-sample time and sample counts hard:
+# the numbers are coarse but stable enough to flag order-of-magnitude
+# regressions, and the whole sweep finishes in a few minutes. For careful
+# timing run `cargo bench -p fpk-bench` without the env var.
+#
+# Usage: ./scripts/bench_baseline.sh [output.json]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_baseline.json}"
+lines="$(mktemp)"
+trap 'rm -f "$lines"' EXIT
+
+for bench in numerics fp_solver fluid_and_dde simulator; do
+    echo "== bench: $bench =="
+    FPK_BENCH_QUICK=1 FPK_BENCH_JSON="$lines" \
+        cargo bench -q -p fpk-bench --bench "$bench"
+done
+
+# Merge the JSON Lines into a single JSON document:
+# {"generated_by": ..., "results": [ {...}, ... ]}
+{
+    printf '{\n  "generated_by": "scripts/bench_baseline.sh (FPK_BENCH_QUICK=1)",\n'
+    printf '  "rustc": "%s",\n' "$(rustc --version)"
+    printf '  "results": [\n'
+    sed 's/^/    /; $!s/$/,/' "$lines"
+    printf '  ]\n}\n'
+} > "$out"
+
+count="$(wc -l < "$lines")"
+echo "wrote $out ($count benchmarks)"

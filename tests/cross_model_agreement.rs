@@ -85,6 +85,7 @@ fn fp_mean_tracks_fluid_before_switching() {
 }
 
 #[test]
+#[ignore = "slow tier (~6 s unoptimised): 40k-particle ensemble vs 160×96 PDE; run via `cargo test -- --ignored`"]
 fn fp_marginal_matches_monte_carlo_transient() {
     let mu = 5.0;
     let sigma2 = 0.4;
@@ -140,7 +141,10 @@ fn sliding_share_theory_verified_by_fluid_and_packets() {
     .unwrap();
     let fluid = traj.mean_rates_tail(0.25);
     for (f, p) in fluid.iter().zip(predicted.iter()) {
-        assert!((f - p).abs() / p < 0.05, "fluid {fluid:?} vs theory {predicted:?}");
+        assert!(
+            (f - p).abs() / p < 0.05,
+            "fluid {fluid:?} vs theory {predicted:?}"
+        );
     }
 
     // Packets (scaled to packet units).

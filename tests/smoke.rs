@@ -1,0 +1,237 @@
+//! Fast smoke coverage of the two hot paths every future performance PR
+//! will touch: the discrete-event simulator (`sim::run`, one test per
+//! [`SourceSpec`] variant) and the Fokker–Planck stepper
+//! (`FpSolver::run_until` mass conservation and positivity).
+//!
+//! Every test here runs a deliberately short horizon so the whole file
+//! finishes in a few seconds even unoptimised; the long-horizon
+//! cross-model statistics live in `tests/cross_model_agreement.rs`
+//! (slowest ones behind `cargo test -- --ignored`, see `README.md`).
+
+use fpk_repro::congestion::decbit::DecbitPolicy;
+use fpk_repro::congestion::{LinearExp, WindowAimd};
+use fpk_repro::fpk::{Density, FpProblem, FpSolver};
+use fpk_repro::sim::{run, Service, SimConfig, SourceSpec};
+
+fn short_config(seed: u64) -> SimConfig {
+    SimConfig {
+        mu: 50.0,
+        service: Service::Exponential,
+        buffer: None,
+        t_end: 10.0,
+        warmup: 2.0,
+        sample_interval: 0.1,
+        seed,
+    }
+}
+
+fn check_result(out: &fpk_repro::sim::SimResult, n_flows: usize, what: &str) {
+    assert_eq!(out.flows.len(), n_flows, "{what}: flow count");
+    assert!(out.total_throughput > 0.0, "{what}: no packets delivered");
+    assert!(out.mean_queue >= 0.0, "{what}: negative mean queue");
+    assert!(
+        (0.0..=1.5).contains(&out.utilization),
+        "{what}: utilization {} out of range",
+        out.utilization
+    );
+    assert!(!out.trace_t.is_empty(), "{what}: empty trace");
+    assert!(
+        out.trace_q.iter().all(|&q| q >= 0.0),
+        "{what}: negative queue sample"
+    );
+}
+
+#[test]
+fn des_rate_source_smoke() {
+    let out = run(
+        &short_config(1),
+        &[SourceSpec::Rate {
+            law: LinearExp::new(8.0, 0.5, 10.0),
+            lambda0: 20.0,
+            update_interval: 0.1,
+            prop_delay: 0.01,
+            poisson: true,
+        }],
+    )
+    .expect("rate run");
+    check_result(&out, 1, "rate source");
+    // The adaptive source must actually move its rate off λ0.
+    let ctl: Vec<f64> = out.trace_ctl.iter().map(|c| c[0]).collect();
+    assert!(
+        ctl.iter().any(|&l| (l - 20.0).abs() > 1e-6),
+        "rate never adapted"
+    );
+}
+
+#[test]
+fn des_rate_source_deterministic_gaps_smoke() {
+    // Same variant, the `poisson: false` arm plus deterministic service.
+    let mut cfg = short_config(2);
+    cfg.service = Service::Deterministic;
+    let out = run(
+        &cfg,
+        &[SourceSpec::Rate {
+            law: LinearExp::new(8.0, 0.5, 10.0),
+            lambda0: 20.0,
+            update_interval: 0.1,
+            prop_delay: 0.01,
+            poisson: false,
+        }],
+    )
+    .expect("deterministic rate run");
+    check_result(&out, 1, "deterministic rate source");
+}
+
+#[test]
+fn des_window_source_smoke() {
+    let out = run(
+        &short_config(3),
+        &[SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, 0.05, 10.0),
+            w0: 2.0,
+        }],
+    )
+    .expect("window run");
+    check_result(&out, 1, "window source");
+    // Windows stay positive and the slow-start from w0 = 2 grows.
+    let peak = out.trace_ctl.iter().map(|c| c[0]).fold(f64::MIN, f64::max);
+    assert!(peak > 2.0, "window never grew past w0 (peak {peak})");
+}
+
+#[test]
+fn des_onoff_source_smoke() {
+    let out = run(
+        &short_config(4),
+        &[SourceSpec::OnOff {
+            peak_rate: 60.0,
+            mean_on: 0.5,
+            mean_off: 0.5,
+            prop_delay: 0.01,
+        }],
+    )
+    .expect("on-off run");
+    check_result(&out, 1, "on-off source");
+    // Mean rate ≈ peak/2 = 30 ≤ μ = 50: delivered load must be well
+    // below capacity but clearly nonzero.
+    assert!(out.utilization < 1.0, "on-off overloaded the bottleneck");
+}
+
+#[test]
+fn des_decbit_source_smoke() {
+    let out = run(
+        &short_config(5),
+        &[SourceSpec::Decbit {
+            policy: DecbitPolicy::raja88(),
+            rtt: 0.05,
+            w0: 2.0,
+            q_hat: 1.0,
+        }],
+    )
+    .expect("decbit run");
+    check_result(&out, 1, "DECbit source");
+}
+
+#[test]
+fn des_mixed_sources_smoke() {
+    // All four variants sharing one bottleneck in a single short run.
+    let out = run(
+        &short_config(6),
+        &[
+            SourceSpec::Rate {
+                law: LinearExp::new(4.0, 0.5, 12.0),
+                lambda0: 5.0,
+                update_interval: 0.1,
+                prop_delay: 0.01,
+                poisson: true,
+            },
+            SourceSpec::Window {
+                aimd: WindowAimd::new(1.0, 0.5, 0.05, 10.0),
+                w0: 2.0,
+            },
+            SourceSpec::OnOff {
+                peak_rate: 20.0,
+                mean_on: 0.3,
+                mean_off: 0.7,
+                prop_delay: 0.01,
+            },
+            SourceSpec::Decbit {
+                policy: DecbitPolicy::raja88(),
+                rtt: 0.05,
+                w0: 2.0,
+                q_hat: 1.0,
+            },
+        ],
+    )
+    .expect("mixed run");
+    check_result(&out, 4, "mixed sources");
+    assert!(
+        out.flows.iter().all(|f| f.throughput > 0.0),
+        "every flow must deliver packets"
+    );
+}
+
+#[test]
+fn fp_solver_conserves_mass_and_positivity() {
+    let law = LinearExp::new(1.0, 0.5, 10.0);
+    let grid = Density::standard_grid(30.0, -5.0, 5.0, 48, 32).expect("grid");
+    let init = Density::gaussian(grid, 8.0, -1.0, 1.0, 0.5).expect("init");
+    let mut solver = FpSolver::new(FpProblem::new(law, 5.0, 0.3), init).expect("solver");
+    solver.run_until(0.5).expect("run");
+    let d = solver.density();
+    assert!(
+        (d.mass() - 1.0).abs() < 1e-9,
+        "mass drifted to {}",
+        d.mass()
+    );
+    assert!(
+        d.min_value() >= -1e-12,
+        "negative density {}",
+        d.min_value()
+    );
+    assert!(d.mean_q().is_finite() && d.mean_nu().is_finite());
+}
+
+#[test]
+fn fp_solver_zero_noise_transport_stays_sane() {
+    // σ² = 0: the hyperbolic limit exercises the pure advection path.
+    let law = LinearExp::new(1.0, 0.5, 10.0);
+    let grid = Density::standard_grid(30.0, -5.0, 5.0, 48, 32).expect("grid");
+    let init = Density::gaussian(grid, 8.0, 1.0, 1.0, 0.5).expect("init");
+    let mut solver = FpSolver::new(FpProblem::new(law, 5.0, 0.0), init).expect("solver");
+    solver.run_until(0.3).expect("run");
+    let d = solver.density();
+    assert!((d.mass() - 1.0).abs() < 1e-9, "mass {}", d.mass());
+    assert!(d.min_value() >= -1e-12, "negative density");
+    // With ν0 = +1 the bulk must have moved to larger q.
+    assert!(
+        d.mean_q() > 8.0,
+        "advection went the wrong way: {}",
+        d.mean_q()
+    );
+}
+
+#[test]
+fn fp_solver_repeated_short_steps_match_single_run() {
+    // run_until must compose: many short calls agree with one long call
+    // up to the step-size truncation error (each call ends on a partial
+    // CFL step, so agreement is first-order in dt, not exact), and mass
+    // stays pinned either way.
+    let law = LinearExp::new(1.0, 0.5, 10.0);
+    let grid = Density::standard_grid(30.0, -5.0, 5.0, 40, 24).expect("grid");
+    let init = Density::gaussian(grid, 8.0, -1.0, 1.0, 0.5).expect("init");
+
+    let mut one = FpSolver::new(FpProblem::new(law, 5.0, 0.2), init.clone()).expect("solver");
+    one.run_until(0.4).expect("run");
+
+    let mut many = FpSolver::new(FpProblem::new(law, 5.0, 0.2), init).expect("solver");
+    for k in 1..=8 {
+        many.run_until(0.05 * k as f64).expect("run");
+    }
+    assert!(
+        (one.density().mean_q() - many.density().mean_q()).abs() < 5e-3,
+        "single {} vs composed {}",
+        one.density().mean_q(),
+        many.density().mean_q()
+    );
+    assert!((one.density().mass() - many.density().mass()).abs() < 1e-12);
+}

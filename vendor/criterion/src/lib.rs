@@ -1,0 +1,346 @@
+//! Vendored minimal subset of [`criterion`](https://crates.io/crates/criterion):
+//! enough of the API (`Criterion`, `BenchmarkGroup`, `Bencher`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`) to compile and run
+//! the workspace's `harness = false` benches offline.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors the few externals it needs (see `DESIGN.md`,
+//! §Vendoring). Statistics are deliberately simple — per-sample medians,
+//! no outlier analysis or HTML reports — but timings are real and the
+//! output is stable enough to compare run-over-run.
+//!
+//! Two environment variables tailor a run (used by
+//! `scripts/bench_baseline.sh`):
+//!
+//! * `FPK_BENCH_QUICK=1` — cut warm-up and sample counts hard, for smoke
+//!   coverage and baseline JSON snapshots rather than careful timing.
+//! * `FPK_BENCH_JSON=<path>` — append one JSON object per benchmark to
+//!   `<path>` (JSON Lines), machine-readable for trend tracking.
+//!
+//! ```
+//! let mut c = criterion::Criterion::default().sample_size(10);
+//! c.bench_function("noop_add", |b| b.iter(|| std::hint::black_box(1u64) + 1));
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (the real crate deprecates it
+/// in favour of `std::hint::black_box`, which the workspace benches use).
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group.bench_with_input(BenchmarkId::new("name", param), ..)`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identify the benchmark by its parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, recording `sample_size` samples of an adaptively
+    /// chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the per-sample iteration count so one sample
+        // costs ~2 ms (20 µs in quick mode).
+        let target = if self.quick {
+            Duration::from_micros(20)
+        } else {
+            Duration::from_millis(2)
+        };
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= target || iters >= 1 << 30 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 8
+            } else {
+                let scale = target.as_secs_f64() / elapsed.as_secs_f64();
+                (iters as f64 * scale.clamp(1.5, 8.0)).ceil() as u64
+            };
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// Top-level benchmark driver (vendored subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+    records: Vec<Record>,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("FPK_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            quick: quick_mode(),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the measurement time. Accepted for API compatibility; the
+    /// vendored harness sizes samples adaptively instead.
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.quick {
+            self.sample_size.min(5)
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.effective_sample_size();
+        let quick = self.quick;
+        self.run_one(id.to_string(), sample_size, quick, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        quick: bool,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size,
+            quick,
+        };
+        f(&mut bencher);
+        let mut s = bencher.samples;
+        if s.is_empty() {
+            // The closure never called `iter` — record nothing.
+            return;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let rec = Record {
+            median_ns: s[s.len() / 2],
+            min_ns: s[0],
+            max_ns: s[s.len() - 1],
+            samples: s.len(),
+            id,
+        };
+        println!(
+            "{:<48} time: [{} .. {} .. {}]  ({} samples)",
+            rec.id,
+            fmt_ns(rec.min_ns),
+            fmt_ns(rec.median_ns),
+            fmt_ns(rec.max_ns),
+            rec.samples
+        );
+        self.records.push(rec);
+    }
+
+    /// Flush collected measurements to `FPK_BENCH_JSON` (JSON Lines), if set.
+    ///
+    /// Called by the `criterion_group!` expansion after the targets run.
+    pub fn finalize(&mut self) {
+        let Ok(path) = std::env::var("FPK_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) else {
+            eprintln!("criterion (vendored): cannot open {path}");
+            return;
+        };
+        for r in &self.records {
+            // Hand-rolled JSON keeps this crate dependency-free.
+            let _ = writeln!(
+                file,
+                "{{\"id\":{:?},\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}",
+                r.id, r.median_ns, r.min_ns, r.max_ns, r.samples
+            );
+        }
+        self.records.clear();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named collection of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.criterion.effective_sample_size();
+        let quick = self.criterion.quick;
+        self.criterion.run_one(full, sample_size, quick, f);
+        self
+    }
+
+    /// Run one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Declare a group runner `fn $name()` over benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (`--bench`,
+            // `--test`, filters); the vendored harness runs everything and
+            // ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion::default().sample_size(3);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+                b.iter(|| black_box(n) * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.records[0].id, "grp/8");
+    }
+}

@@ -1,0 +1,279 @@
+//! Vendored minimal subset of [`proptest`](https://proptest-rs.github.io/):
+//! the `proptest!` test macro, numeric-range / tuple / `collection::vec` /
+//! `sample::select` strategies, `prop_assert!`, and `ProptestConfig`.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors the few externals it needs (see `DESIGN.md`,
+//! §Vendoring). Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs (every
+//!   strategy value is `Debug`) but is not minimised.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   own name (overridable via `PROPTEST_SEED`), so failures reproduce
+//!   exactly and CI runs are stable.
+//!
+//! ```
+//! use proptest::prelude::*;
+//! let mut rng = proptest::test_rng("demo");
+//! let (x, n) = ((-10.0f64..10.0).generate(&mut rng),
+//!               prop::collection::vec(0.0f64..1.0, 2..5).generate(&mut rng));
+//! assert!((-10.0..10.0).contains(&x) && n.len() >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (vendored subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Test-case generators. Unlike real proptest there is no value tree:
+/// a strategy samples a concrete value directly from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+    /// Sample one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        self.start + (self.end - self.start) * rng.gen::<f64>()
+    }
+}
+
+impl Strategy for std::ops::Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut StdRng) -> i64 {
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.gen::<u64>() % span.max(1)) as i64
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut StdRng) -> usize {
+        let span = self.end.saturating_sub(self.start);
+        self.start + (rng.gen::<u64>() % span.max(1) as u64) as usize
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// `prop::collection` — strategies over containers.
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element_strategy, min_len..max_len)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::sample` — strategies picking among given values.
+pub mod sample {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `select(vec![a, b, c])` — uniform choice among the options.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = (rng.gen::<u64>() % self.options.len() as u64) as usize;
+            self.options[idx].clone()
+        }
+    }
+}
+
+/// Build the deterministic per-test RNG (exposed for the macro expansion).
+#[must_use]
+pub fn test_rng(test_name: &str) -> StdRng {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(s) = seed.parse::<u64>() {
+            return StdRng::seed_from_u64(s);
+        }
+    }
+    // FNV-1a over the test name: stable across runs and rustc versions.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+    /// The `prop::` path alias (`prop::collection::vec`, `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Assert inside a property: on failure, panics with the formatted message
+/// (no shrinking in the vendored subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(, $($fmt:tt)+)?) => {
+        assert_eq!($a, $b $(, $($fmt)+)?);
+    };
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ...)`
+/// expands to a normal `#[test]` running `cases` sampled instances.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let __inputs = format!(
+                        concat!("case {} of ", stringify!($name), ":", $(" ", stringify!($arg), "={:?}"),+),
+                        __case, $(&$arg),+
+                    );
+                    // Run the body; if it panics the harness prints the
+                    // inputs via the panic payload below.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(payload) = result {
+                        eprintln!("proptest (vendored): failing {__inputs}");
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])+
+                fn $name ( $($arg in $strategy),+ ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.5f64..2.5, n in 3usize..9) {
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_select_compose(
+            v in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..5),
+            pick in prop::sample::select(vec![10u64, 20, 30]),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&(a, b)| (0.0..1.0).contains(&a) && (0.0..1.0).contains(&b)));
+            prop_assert!(pick % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        use rand::Rng;
+        let a: f64 = crate::test_rng("t").gen();
+        let b: f64 = crate::test_rng("t").gen();
+        assert_eq!(a, b);
+    }
+}

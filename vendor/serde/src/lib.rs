@@ -1,0 +1,222 @@
+//! Vendored minimal subset of [`serde`](https://serde.rs): the
+//! `Serialize`/`Deserialize` traits plus derive macros, backed by a small
+//! self-describing [`Value`] tree that `serde_json` renders.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors the few externals it needs (see `DESIGN.md`,
+//! §Vendoring). Unlike real serde's visitor-based zero-copy design, this
+//! subset serialises through an owned [`Value`] — entirely adequate for
+//! the workspace's only use: writing experiment artefacts as JSON.
+//!
+//! ```
+//! use serde::Serialize;
+//! #[derive(Serialize)]
+//! struct P { x: f64, tag: String }
+//! let v = serde::Serialize::to_value(&P { x: 1.5, tag: "a".into() });
+//! assert_eq!(v.get("x").and_then(serde::Value::as_f64), Some(1.5));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialised value (the JSON data model, order-preserving).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept apart so `u64::MAX` round-trips).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; `Vec` rather than a map so field order is declaration order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (ints widen losslessly enough for test assertions).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Types that can serialise themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert `self` into the serialised tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for types the derive macro tagged as deserialisable.
+///
+/// The workspace never deserialises (artefacts are write-only JSON), so
+/// this carries no methods; it exists so `#[derive(Deserialize)]` and
+/// `T: Deserialize` bounds compile against the vendored subset.
+pub trait Deserialize {}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize);
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!(3usize.to_value(), Value::UInt(3));
+        assert_eq!((-2i32).to_value(), Value::Int(-2));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_string().to_value(), Value::Str("hi".into()));
+        assert_eq!(Option::<f64>::None.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(
+            (1u8, 2.0f64).to_value(),
+            Value::Array(vec![Value::UInt(1), Value::Float(2.0)])
+        );
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(1.0));
+        assert!(v.get("b").is_none());
+    }
+}

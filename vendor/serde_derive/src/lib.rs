@@ -1,0 +1,296 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` — the
+//! build container has no crates.io access). Supports exactly the shapes
+//! this workspace derives on: non-generic structs with named fields,
+//! tuple structs, unit structs, and enums whose variants are unit, tuple
+//! or struct-like. Anything else produces a `compile_error!` naming the
+//! unsupported construct rather than silently mis-serialising.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derive the vendored `serde::Serialize` (serialisation into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derive the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => render(&name, &shape, which).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match ident_at(&toks, i) {
+        Some(k) if k == "struct" || k == "enum" => k,
+        other => return Err(format!("serde_derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = ident_at(&toks, i).ok_or("serde_derive: missing type name")?;
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the vendored subset"
+        ));
+    }
+    if kind == "struct" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("serde_derive: unsupported struct body {other:?}")),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("serde_derive: unsupported enum body {other:?}")),
+        }
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip `#[...]` attributes (including doc comments) and `pub` /
+/// `pub(...)` visibility starting at `*i`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            (Some(TokenTree::Ident(id)), _) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advance past a type (or discriminant expression) until a top-level `,`,
+/// tracking `<`/`>` nesting, which are bare puncts rather than groups.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i)
+            .ok_or_else(|| format!("serde_derive: expected field name, got {:?}", toks[i]))?
+            .to_string();
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde_derive: expected `:` after `{name}`, got {other:?}"
+                ))
+            }
+        }
+        skip_to_comma(&toks, &mut i);
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_to_comma(&toks, &mut i);
+        i += 1;
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i)
+            .ok_or_else(|| format!("serde_derive: expected variant name, got {:?}", toks[i]))?
+            .to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant`, then the trailing comma.
+        skip_to_comma(&toks, &mut i);
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn render(name: &str, shape: &Shape, which: Which) -> String {
+    if let Which::Deserialize = which {
+        return format!("impl ::serde::Deserialize for {name} {{}}");
+    }
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("::serde::Value::Object(vec![");
+            for f in fields {
+                write!(
+                    s,
+                    "(String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                )
+                .unwrap();
+            }
+            s.push_str("])");
+            s
+        }
+        Shape::TupleStruct(n) => {
+            let mut s = String::from("::serde::Value::Array(vec![");
+            for k in 0..*n {
+                write!(s, "::serde::Serialize::to_value(&self.{k}),").unwrap();
+            }
+            s.push_str("])");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        write!(
+                            s,
+                            "{name}::{vn} => ::serde::Value::Str(String::from({vn:?})),"
+                        )
+                        .unwrap();
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        write!(
+                            s,
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from({vn:?}), ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(","),
+                            binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        )
+                        .unwrap();
+                    }
+                    VariantShape::Named(fields) => {
+                        write!(
+                            s,
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(String::from({vn:?}), ::serde::Value::Object(vec![{}]))]),",
+                            fields.join(","),
+                            fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,205 @@
+//! Vendored minimal subset of [`serde_json`]: render any
+//! `serde::Serialize` as JSON text. Write-only — the workspace only emits
+//! experiment artefacts; it never parses JSON back.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors the few externals it needs (see `DESIGN.md`,
+//! §Vendoring).
+//!
+//! ```
+//! #[derive(serde::Serialize)]
+//! struct Row { n: usize, err: f64 }
+//! let json = serde_json::to_string_pretty(&Row { n: 3, err: 0.25 }).unwrap();
+//! assert!(json.contains("\"n\": 3"));
+//! assert!(json.contains("\"err\": 0.25"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialisation error (kept for API compatibility; the vendored encoder
+/// itself is total and never fails).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate's signature shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialise `value` as compact single-line JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialise `value` as human-readable JSON indented with two spaces.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => write_f64(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.len(),
+            Layout { indent, depth },
+            ('[', ']'),
+            items.iter().map(|it| {
+                move |o: &mut String, ind: Option<usize>, d: usize| write_value(o, it, ind, d)
+            }),
+        ),
+        Value::Object(fields) => write_seq(
+            out,
+            fields.len(),
+            Layout { indent, depth },
+            ('{', '}'),
+            fields.iter().map(|(k, val)| {
+                move |o: &mut String, ind: Option<usize>, d: usize| {
+                    write_escaped(o, k);
+                    o.push(':');
+                    if ind.is_some() {
+                        o.push(' ');
+                    }
+                    write_value(o, val, ind, d);
+                }
+            }),
+        ),
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Layout {
+    indent: Option<usize>,
+    depth: usize,
+}
+
+fn write_seq<F, I>(out: &mut String, len: usize, layout: Layout, brackets: (char, char), items: I)
+where
+    F: FnOnce(&mut String, Option<usize>, usize),
+    I: Iterator<Item = F>,
+{
+    let Layout { indent, depth } = layout;
+    out.push(brackets.0);
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (k, write_item) in items.enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        write_item(out, indent, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(brackets.1);
+}
+
+/// JSON has no non-finite numbers; mirror the lenient encoders (and
+/// Python's default) by emitting `null` for them rather than erroring —
+/// experiment artefacts should record "no value" instead of aborting.
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let s = format!("{x}");
+        out.push_str(&s);
+        // `{}` prints integral floats without a decimal point; keep the
+        // float-ness visible so readers don't reparse 1.0 as an int.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = Value::Object(vec![
+            (
+                "a".into(),
+                Value::Array(vec![Value::Int(1), Value::Float(2.5)]),
+            ),
+            ("b".into(), Value::Str("x\"y".into())),
+        ]);
+        struct W(Value);
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        assert_eq!(
+            to_string(&W(v.clone())).unwrap(),
+            r#"{"a":[1,2.5],"b":"x\"y"}"#
+        );
+        let pretty = to_string_pretty(&W(v)).unwrap();
+        assert!(
+            pretty.contains("\"a\": [\n    1,\n    2.5\n  ]"),
+            "{pretty}"
+        );
+    }
+
+    #[test]
+    fn floats_stay_floats_and_nonfinite_is_null() {
+        struct F(f64);
+        impl Serialize for F {
+            fn to_value(&self) -> Value {
+                Value::Float(self.0)
+            }
+        }
+        assert_eq!(to_string(&F(1.0)).unwrap(), "1.0");
+        assert_eq!(to_string(&F(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&F(f64::INFINITY)).unwrap(), "null");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Vec::<f64>::new()).unwrap(), "[]");
+    }
+}
