@@ -1,0 +1,55 @@
+//! Criterion benchmark of the `fpk-scenarios` runner: a fixed 3×2 grid
+//! with 2 replications per cell (12 DES runs), executed serially and on
+//! the machine's full worker count. Tracks both the runner's overhead
+//! over bare `fpk_sim::run` loops and the parallel speedup; the two
+//! configurations produce bit-identical reports by construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpk_congestion::LinearExp;
+use fpk_scenarios::{run_sweep_on, thread_count, Axis, Scenario, Sweep};
+use fpk_sim::{Service, SimConfig, SourceSpec};
+use std::hint::black_box;
+
+fn grid() -> Sweep {
+    let base = Scenario::new(
+        "bench_grid",
+        SimConfig {
+            mu: 100.0,
+            service: Service::Exponential,
+            buffer: None,
+            t_end: 20.0,
+            warmup: 2.0,
+            sample_interval: 0.5,
+            seed: 0,
+        },
+        vec![SourceSpec::Rate {
+            law: LinearExp::new(8.0, 0.5, 10.0),
+            lambda0: 20.0,
+            update_interval: 0.1,
+            prop_delay: 0.01,
+            poisson: true,
+        }],
+    );
+    Sweep::new(base, 7)
+        .axis(Axis::mu(vec![60.0, 100.0, 140.0]))
+        .axis(Axis::flow_count(vec![1.0, 2.0]))
+}
+
+fn bench_scenario_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_grid");
+    let parallel = thread_count();
+    let mut configs = vec![("serial", 1usize)];
+    if parallel > 1 {
+        configs.push(("parallel", parallel));
+    }
+    for (label, threads) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &th| {
+            let sweep = grid();
+            b.iter(|| run_sweep_on(black_box(&sweep), 2, th).expect("sweep"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_grid);
+criterion_main!(benches);

@@ -1,13 +1,19 @@
 //! Table 4 (§6, E6b): heterogeneous parameters — the exact share of the
 //! resource each source gets is λ_i* = μ·(C0_i/C1_i)/Σ(C0_j/C1_j).
 //! Theory vs fluid vs packet simulator.
+//!
+//! Ported to the `fpk-scenarios` runner: the parameter-bundle axis is a
+//! sweep, the packet-level numbers are a seeded ensemble (5 replications
+//! per cell, mean ± 95% CI) instead of a single-seed point estimate, and
+//! cells evaluate in parallel.
 
 use fpk_bench::{fmt, print_table, write_json};
 use fpk_congestion::fairness::share_prediction_error;
 use fpk_congestion::theory::sliding_share;
 use fpk_congestion::LinearExp;
 use fpk_fluid::multi::{simulate_multi, MultiParams};
-use fpk_sim::{run, Service, SimConfig, SourceSpec};
+use fpk_scenarios::{run_cells, Axis, Ensemble, Scenario, Sweep};
+use fpk_sim::{Service, SimConfig, SourceSpec};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -17,25 +23,78 @@ struct Case {
     fluid_measured: Vec<f64>,
     fluid_gap: f64,
     packet_measured: Vec<f64>,
+    packet_ci95: Vec<f64>,
     packet_gap: f64,
+    replications: usize,
 }
 
-fn main() {
-    let mu = 10.0;
-    let configs: Vec<Vec<(f64, f64)>> = vec![
+const REPLICATIONS: usize = 5;
+
+fn parameter_bundles() -> Vec<Vec<(f64, f64)>> {
+    vec![
         vec![(1.0, 0.5), (2.0, 0.5)],
         vec![(1.0, 0.5), (2.0, 0.5), (0.5, 0.5)],
         vec![(1.0, 1.0), (1.0, 0.25)],
         vec![(0.5, 0.5), (1.0, 0.5), (1.5, 0.5), (2.0, 0.5)],
-    ];
-    let mut cases = Vec::new();
-    let mut table = Vec::new();
-    for (ci, cfg) in configs.iter().enumerate() {
+    ]
+}
+
+/// Packet-level laws for bundle `ci`: C0 scaled ×4 to packet units
+/// (μ = 100 pkts/s), q̂ = 12.
+fn packet_laws(ci: usize) -> Vec<LinearExp> {
+    parameter_bundles()[ci]
+        .iter()
+        .map(|&(c0, c1)| LinearExp::new(4.0 * c0, c1, 12.0))
+        .collect()
+}
+
+fn packet_sources(ci: usize) -> Vec<SourceSpec> {
+    packet_laws(ci)
+        .iter()
+        .map(|law| SourceSpec::Rate {
+            law: *law,
+            lambda0: 5.0,
+            update_interval: 0.1,
+            prop_delay: 0.01,
+            poisson: true,
+        })
+        .collect()
+}
+
+fn main() {
+    let mu = 10.0;
+    let configs = parameter_bundles();
+
+    let base = Scenario::new(
+        "tbl4_hetero_share",
+        SimConfig {
+            mu: 100.0,
+            service: Service::Exponential,
+            buffer: None,
+            t_end: 400.0,
+            warmup: 100.0,
+            sample_interval: 0.1,
+            seed: 0,
+        },
+        packet_sources(0),
+    );
+    let sweep = Sweep::new(base, 2000).axis(Axis::new(
+        "config",
+        (0..configs.len()).map(|i| i as f64).collect(),
+        |sc, v| sc.sources = packet_sources(v as usize),
+    ));
+
+    // Each cell: closed-form shares, the fluid ODE, and a packet-level
+    // ensemble — evaluated in parallel across cells.
+    let ensemble = Ensemble::new(REPLICATIONS).expect("replications");
+    let cases: Vec<Case> = run_cells(&sweep, |cell| {
+        let ci = cell.coords[0] as usize;
+        let cfg = &configs[ci];
         let laws: Vec<LinearExp> = cfg
             .iter()
             .map(|&(c0, c1)| LinearExp::new(c0, c1, 10.0))
             .collect();
-        let predicted = sliding_share(&laws, mu).expect("theory");
+        let predicted = sliding_share(&laws, mu)?;
 
         let traj = simulate_multi(
             &laws,
@@ -46,79 +105,57 @@ fn main() {
                 t_end: 600.0,
                 dt: 2e-3,
             },
-        )
-        .expect("fluid");
+        )?;
         let fluid = traj.mean_rates_tail(0.25);
-        let fluid_gap = share_prediction_error(&fluid, &predicted).expect("gap");
+        let fluid_gap = share_prediction_error(&fluid, &predicted)?;
 
-        // Packet level: scale C0 ×4 to packet units (μ = 100 pkts/s).
-        let pkt_laws: Vec<LinearExp> = cfg
-            .iter()
-            .map(|&(c0, c1)| LinearExp::new(4.0 * c0, c1, 12.0))
-            .collect();
-        let sources: Vec<SourceSpec> = pkt_laws
-            .iter()
-            .map(|law| SourceSpec::Rate {
-                law: *law,
-                lambda0: 5.0,
-                update_interval: 0.1,
-                prop_delay: 0.01,
-                poisson: true,
-            })
-            .collect();
-        let out = run(
-            &SimConfig {
-                mu: 100.0,
-                service: Service::Exponential,
-                buffer: None,
-                t_end: 400.0,
-                warmup: 100.0,
-                sample_interval: 0.1,
-                seed: 2000 + ci as u64,
-            },
-            &sources,
-        )
-        .expect("packets");
-        let packet: Vec<f64> = out.flows.iter().map(|f| f.throughput).collect();
-        let pkt_pred = sliding_share(&pkt_laws, out.total_throughput).expect("theory");
-        let packet_gap = share_prediction_error(&packet, &pkt_pred).expect("gap");
+        let stats = ensemble.run(&cell.scenario, cell.seed)?;
+        let packet: Vec<f64> = stats.flow_throughput.iter().map(|s| s.mean).collect();
+        let packet_ci95: Vec<f64> = stats.flow_throughput.iter().map(|s| s.ci95).collect();
+        let pkt_pred = sliding_share(&packet_laws(ci), stats.total_throughput.mean)?;
+        let packet_gap = share_prediction_error(&packet, &pkt_pred)?;
 
-        let ratios: Vec<f64> = cfg.iter().map(|&(c0, c1)| c0 / c1).collect();
-        table.push(vec![
-            format!("{ratios:?}"),
-            format!(
-                "{:?}",
-                predicted
-                    .iter()
-                    .map(|v| (v * 100.0).round() / 100.0)
-                    .collect::<Vec<_>>()
-            ),
-            format!(
-                "{:?}",
-                fluid
-                    .iter()
-                    .map(|v| (v * 100.0).round() / 100.0)
-                    .collect::<Vec<_>>()
-            ),
-            fmt(fluid_gap, 4),
-            fmt(packet_gap, 4),
-        ]);
-        cases.push(Case {
-            ratios,
+        Ok(Case {
+            ratios: cfg.iter().map(|&(c0, c1)| c0 / c1).collect(),
             predicted,
             fluid_measured: fluid,
             fluid_gap,
             packet_measured: packet,
+            packet_ci95,
             packet_gap,
-        });
-    }
+            replications: REPLICATIONS,
+        })
+    })
+    .expect("tbl4 sweep");
+
+    let round2 = |xs: &[f64]| {
+        format!(
+            "{:?}",
+            xs.iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        )
+    };
+    let table: Vec<Vec<String>> = cases
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:?}", c.ratios),
+                round2(&c.predicted),
+                round2(&c.fluid_measured),
+                fmt(c.fluid_gap, 4),
+                fmt(c.packet_gap, 4),
+            ]
+        })
+        .collect();
     print_table(
         "Table 4 — heterogeneous shares: λ_i* ∝ C0_i/C1_i",
         &["C0/C1 ratios", "theory", "fluid", "fluid gap", "packet gap"],
         &table,
     );
     println!("\nClaim (§6): the exact share each source gets is determined by its");
-    println!("parameters — normalised gaps must be ≲1e-3 (fluid) / a few % (packets).");
+    println!("parameters — normalised gaps must be ≲1e-3 (fluid) / a few % (packets,");
+    println!("ensemble mean over {REPLICATIONS} seeds per cell).");
     assert!(cases.iter().all(|c| c.fluid_gap < 5e-3));
     assert!(cases.iter().all(|c| c.packet_gap < 0.08));
     write_json("tbl4_hetero_share", &cases);

@@ -4,12 +4,18 @@
 //!   feedback delay (convergent spiral at τ = 0);
 //! * linear-increase/**linear**-decrease oscillates **even at τ = 0**
 //!   (its return map is the identity) — and delay makes it worse.
+//!
+//! Ported to the `fpk-scenarios` runner: the (τ × law) grid is a sweep
+//! with label axes and a custom per-cell evaluator (the cells are fluid
+//! ODE/DDE integrations, not DES runs), executed in parallel.
 
 use fpk_bench::{fmt, print_table, write_json};
 use fpk_congestion::{LinearExp, LinearLinear, RateControl};
 use fpk_fluid::delay::{cycle_summary, simulate_delayed, DelayParams, RegimeLabel};
 use fpk_fluid::multi::MultiTrajectory;
 use fpk_fluid::single::{simulate, FluidParams};
+use fpk_scenarios::{run_cells, Axis, Scenario, Sweep};
+use fpk_sim::{Service, SimConfig};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -57,38 +63,58 @@ fn run_law<L: RateControl + Copy>(law: L, tau: f64) -> (RegimeLabel, f64) {
 }
 
 fn main() {
-    let le = LinearExp::new(1.0, 0.5, 10.0);
-    let ll = LinearLinear::new(1.0, 1.0, 10.0);
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for tau in [0.0, 1.0, 2.0] {
-        let (regime, amp) = run_law(le, tau);
-        table.push(vec![
-            "linear/exponential (JRJ)".into(),
-            fmt(tau, 1),
-            format!("{regime:?}"),
-            fmt(amp, 3),
-        ]);
-        rows.push(Row {
-            law: "linear/exponential".into(),
+    // The DES bundle is unused — the grid machinery drives fluid models
+    // here, so both axes are label-only and the evaluator is custom.
+    let base = Scenario::new(
+        "tbl5_algorithm_oscillation",
+        SimConfig {
+            mu: 1.0,
+            service: Service::Deterministic,
+            buffer: None,
+            t_end: 1.0,
+            warmup: 0.0,
+            sample_interval: 0.1,
+            seed: 0,
+        },
+        Vec::new(),
+    );
+    let sweep = Sweep::new(base, 0)
+        .axis(Axis::label_only("tau", vec![0.0, 1.0, 2.0]))
+        .axis(Axis::label_only("law", vec![0.0, 1.0]));
+
+    let rows: Vec<Row> = run_cells(&sweep, |cell| {
+        let tau = cell.coords[0];
+        let (name, regime, amp) = if cell.coords[1] == 0.0 {
+            let (regime, amp) = run_law(LinearExp::new(1.0, 0.5, 10.0), tau);
+            ("linear/exponential", regime, amp)
+        } else {
+            let (regime, amp) = run_law(LinearLinear::new(1.0, 1.0, 10.0), tau);
+            ("linear/linear", regime, amp)
+        };
+        Ok(Row {
+            law: name.into(),
             tau,
             regime: format!("{regime:?}"),
             amplitude: amp,
-        });
-        let (regime, amp) = run_law(ll, tau);
-        table.push(vec![
-            "linear/linear".into(),
-            fmt(tau, 1),
-            format!("{regime:?}"),
-            fmt(amp, 3),
-        ]);
-        rows.push(Row {
-            law: "linear/linear".into(),
-            tau,
-            regime: format!("{regime:?}"),
-            amplitude: amp,
-        });
-    }
+        })
+    })
+    .expect("tbl5 sweep");
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                if r.law == "linear/exponential" {
+                    "linear/exponential (JRJ)".into()
+                } else {
+                    r.law.clone()
+                },
+                fmt(r.tau, 1),
+                r.regime.clone(),
+                fmt(r.amplitude, 3),
+            ]
+        })
+        .collect();
     print_table(
         "Table 5 — who causes the oscillation: the algorithm or the delay?",
         &["law", "tau", "regime", "tail amplitude"],

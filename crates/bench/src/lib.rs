@@ -39,31 +39,24 @@
 #![warn(missing_docs)]
 
 use serde::Serialize;
-use std::fs;
 use std::path::PathBuf;
 
 /// Where JSON artefacts are written (`results/` under the workspace root,
-/// or the current directory as a fallback).
+/// or the current directory as a fallback). Delegates to the shared
+/// writer in `fpk_scenarios::artifact`.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    // When run via `cargo run -p fpk-bench`, CWD is the workspace root.
-    let dir = PathBuf::from("results");
-    if fs::create_dir_all(&dir).is_ok() {
-        dir
-    } else {
-        PathBuf::from(".")
-    }
+    fpk_scenarios::results_dir()
 }
 
-/// Serialise an experiment artefact to `results/<name>.json`.
+/// Serialise an experiment artefact to `results/<name>.json` through the
+/// shared `fpk_scenarios` artifact writer.
 ///
 /// # Panics
 /// Panics when serialisation or the write fails — an experiment binary
 /// should fail loudly rather than record nothing.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let path = results_dir().join(format!("{name}.json"));
-    let body = serde_json::to_string_pretty(value).expect("experiment output must serialise");
-    fs::write(&path, body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    let path = fpk_scenarios::write_json(name, value);
     println!("\n[artefact written to {}]", path.display());
 }
 

@@ -80,6 +80,20 @@ impl RunningStats {
         self.max
     }
 
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// for the mean: `1.96 · s / √n`; 0 with fewer than two
+    /// observations. Replication counts in ensemble sweeps are small, so
+    /// this is a deliberate normal (not Student-t) approximation — the
+    /// reported interval is slightly anti-conservative for n ≲ 10.
+    #[must_use]
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
     /// Merge another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.n == 0 {
@@ -366,6 +380,33 @@ mod tests {
         assert!(approx_eq(a.mean(), all.mean(), 1e-12, 1e-12));
         assert!(approx_eq(a.variance(), all.variance(), 1e-12, 1e-12));
         assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn ci95_halfwidth_scales_with_sqrt_n() {
+        // σ = 1 (alternating ±1 about mean 0): s ≈ 1.0, so the half-width
+        // is ≈ 1.96/√n and quarters... halves when n quadruples.
+        let fill = |n: usize| {
+            let mut rs = RunningStats::new();
+            for i in 0..n {
+                rs.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+            }
+            rs
+        };
+        let a = fill(100);
+        let b = fill(400);
+        assert!(approx_eq(a.ci95_halfwidth(), 1.96 / 10.0, 1e-2, 1e-3));
+        assert!(approx_eq(
+            a.ci95_halfwidth() / b.ci95_halfwidth(),
+            2.0,
+            1e-2,
+            0.0
+        ));
+        // Degenerate accumulators report a zero-width interval.
+        assert_eq!(RunningStats::new().ci95_halfwidth(), 0.0);
+        let mut one = RunningStats::new();
+        one.push(3.0);
+        assert_eq!(one.ci95_halfwidth(), 0.0);
     }
 
     #[test]

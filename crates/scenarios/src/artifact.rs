@@ -1,0 +1,53 @@
+//! The shared `results/<name>.json` artifact writer.
+//!
+//! Every experiment binary and sweep report funnels through this one
+//! implementation so artifact location and formatting stay uniform
+//! (`fpk_bench::write_json` delegates here).
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Where JSON artifacts are written: `results/` under the current
+/// working directory (the workspace root when run via `cargo run`), or
+/// the current directory when `results/` cannot be created.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_ok() {
+        dir
+    } else {
+        PathBuf::from(".")
+    }
+}
+
+/// Serialise `value` to `results/<name>.json` (pretty-printed) and
+/// return the path written.
+///
+/// # Panics
+/// Panics when serialisation or the write fails — an experiment should
+/// fail loudly rather than record nothing.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(value).expect("artifact must serialise");
+    fs::write(&path, body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_returns_path() {
+        #[derive(Serialize)]
+        struct Tiny {
+            x: u32,
+        }
+        let path = write_json("scenarios_artifact_selftest", &Tiny { x: 7 });
+        assert!(path.exists());
+        let body = fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"x\": 7"));
+        let _ = fs::remove_file(path);
+    }
+}

@@ -1,0 +1,240 @@
+//! [`Ensemble`] — R replications of a scenario aggregated into
+//! mean / standard deviation / 95% confidence intervals per
+//! [`RunSummary`](fpk_sim::RunSummary) field.
+//!
+//! Replication seeds are derived from the cell seed with the same
+//! splitmix construction as cell seeds from the base seed, so the r-th
+//! replication of a cell is a pure function of
+//! `(base_seed, cell_index, r)` — adding replications never perturbs the
+//! ones already run.
+
+use crate::sweep::derive_seed;
+use fpk_numerics::stats::RunningStats;
+use fpk_numerics::{NumericsError, Result};
+use fpk_sim::RunSummary;
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::Scenario;
+
+/// Mean / spread / confidence summary of one scalar across replications.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 with < 2 samples).
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95% CI for the mean.
+    pub ci95: f64,
+    /// Number of samples aggregated.
+    pub n: u64,
+}
+
+impl Stat {
+    /// Aggregate a slice of samples.
+    #[must_use]
+    pub fn from_samples(xs: &[f64]) -> Self {
+        let mut rs = RunningStats::new();
+        for &x in xs {
+            rs.push(x);
+        }
+        Self::from_running(&rs)
+    }
+
+    /// Convert an accumulator.
+    #[must_use]
+    pub fn from_running(rs: &RunningStats) -> Self {
+        Self {
+            mean: rs.mean(),
+            std_dev: rs.std_dev(),
+            ci95: rs.ci95_halfwidth(),
+            n: rs.count(),
+        }
+    }
+}
+
+/// Replication-aggregated statistics of one scenario cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnsembleStats {
+    /// Number of replications aggregated.
+    pub replications: usize,
+    /// Jain fairness index of per-flow throughputs.
+    pub jain: Stat,
+    /// Time-averaged queue length.
+    pub mean_queue: Stat,
+    /// Bottleneck utilisation.
+    pub utilization: Stat,
+    /// Aggregate delivered throughput (sum over flows, packets/s).
+    pub total_throughput: Stat,
+    /// Total packets dropped across flows.
+    pub total_dropped: Stat,
+    /// Per-flow throughput statistics, in flow order.
+    pub flow_throughput: Vec<Stat>,
+    /// Per-flow control-signal standard deviation statistics (empty for
+    /// tandem scenarios, which record no control trace).
+    pub flow_ctl_std: Vec<Stat>,
+    /// Queue-oscillation amplitude over the replications whose trace
+    /// tail oscillated (`None` when no replication did).
+    pub oscillation_amplitude: Option<Stat>,
+}
+
+/// Replication policy: how many seeds per cell.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Ensemble {
+    /// Number of replications R (seeds per cell); must be ≥ 1.
+    pub replications: usize,
+}
+
+impl Ensemble {
+    /// An ensemble of `replications` seeds per cell.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] when `replications == 0`.
+    pub fn new(replications: usize) -> Result<Self> {
+        if replications == 0 {
+            return Err(NumericsError::InvalidParameter {
+                context: "Ensemble: need at least one replication",
+            });
+        }
+        Ok(Self { replications })
+    }
+
+    /// Seed of replication `r` of a cell with seed `cell_seed`.
+    #[must_use]
+    pub fn replication_seed(cell_seed: u64, r: usize) -> u64 {
+        derive_seed(cell_seed, r as u64)
+    }
+
+    /// Run all replications of `scenario` sequentially and aggregate.
+    /// (The sweep runner parallelises across `(cell, replication)` jobs
+    /// instead; this entry point serves single-cell callers.)
+    ///
+    /// # Errors
+    /// Propagates the first failing replication.
+    pub fn run(&self, scenario: &Scenario, cell_seed: u64) -> Result<EnsembleStats> {
+        let summaries: Vec<RunSummary> = (0..self.replications)
+            .map(|r| scenario.run_seeded(Self::replication_seed(cell_seed, r)))
+            .collect::<Result<_>>()?;
+        aggregate(&summaries)
+    }
+}
+
+/// Aggregate replication summaries into per-field statistics.
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] when `summaries` is empty or the
+/// replications disagree on the flow count.
+pub fn aggregate(summaries: &[RunSummary]) -> Result<EnsembleStats> {
+    let Some(first) = summaries.first() else {
+        return Err(NumericsError::InvalidParameter {
+            context: "aggregate: need at least one replication summary",
+        });
+    };
+    let n_flows = first.throughputs.len();
+    let n_ctl = first.ctl_std.len();
+    if summaries
+        .iter()
+        .any(|s| s.throughputs.len() != n_flows || s.ctl_std.len() != n_ctl)
+    {
+        return Err(NumericsError::InvalidParameter {
+            context: "aggregate: replications disagree on flow count",
+        });
+    }
+    let collect = |f: &dyn Fn(&RunSummary) -> f64| -> Stat {
+        Stat::from_samples(&summaries.iter().map(f).collect::<Vec<_>>())
+    };
+    let amplitudes: Vec<f64> = summaries
+        .iter()
+        .filter_map(|s| s.queue_oscillation.as_ref().map(|o| o.amplitude))
+        .collect();
+    Ok(EnsembleStats {
+        replications: summaries.len(),
+        jain: collect(&|s| s.jain),
+        mean_queue: collect(&|s| s.mean_queue),
+        utilization: collect(&|s| s.utilization),
+        total_throughput: collect(&|s| s.throughputs.iter().sum()),
+        total_dropped: collect(&|s| s.total_dropped as f64),
+        flow_throughput: (0..n_flows)
+            .map(|i| collect(&|s: &RunSummary| s.throughputs[i]))
+            .collect(),
+        flow_ctl_std: (0..n_ctl)
+            .map(|i| collect(&|s: &RunSummary| s.ctl_std[i]))
+            .collect(),
+        oscillation_amplitude: if amplitudes.is_empty() {
+            None
+        } else {
+            Some(Stat::from_samples(&amplitudes))
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpk_congestion::LinearExp;
+    use fpk_sim::{Service, SimConfig, SourceSpec};
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            "ens",
+            SimConfig {
+                mu: 50.0,
+                service: Service::Exponential,
+                buffer: None,
+                t_end: 15.0,
+                warmup: 3.0,
+                sample_interval: 0.1,
+                seed: 0,
+            },
+            vec![
+                SourceSpec::Rate {
+                    law: LinearExp::new(8.0, 0.5, 10.0),
+                    lambda0: 20.0,
+                    update_interval: 0.1,
+                    prop_delay: 0.01,
+                    poisson: true,
+                };
+                2
+            ],
+        )
+    }
+
+    #[test]
+    fn rejects_zero_replications() {
+        assert!(Ensemble::new(0).is_err());
+    }
+
+    #[test]
+    fn replications_average_and_bound() {
+        let ens = Ensemble::new(5).unwrap();
+        let stats = ens.run(&scenario(), 99).unwrap();
+        assert_eq!(stats.replications, 5);
+        assert_eq!(stats.flow_throughput.len(), 2);
+        assert_eq!(stats.utilization.n, 5);
+        assert!(stats.utilization.mean > 0.0);
+        assert!(stats.utilization.std_dev > 0.0, "distinct seeds must vary");
+        assert!(stats.utilization.ci95 > 0.0);
+        // The mean of per-flow means must reassemble the total.
+        let flows: f64 = stats.flow_throughput.iter().map(|s| s.mean).sum();
+        assert!((flows - stats.total_throughput.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_prefix_is_stable() {
+        // Growing R must not change the seeds of earlier replications.
+        let s3: Vec<u64> = (0..3).map(|r| Ensemble::replication_seed(7, r)).collect();
+        let s5: Vec<u64> = (0..5).map(|r| Ensemble::replication_seed(7, r)).collect();
+        assert_eq!(s3, s5[..3]);
+    }
+
+    #[test]
+    fn aggregate_rejects_bad_input() {
+        assert!(aggregate(&[]).is_err());
+        let ens = Ensemble::new(1).unwrap();
+        let a = ens.run(&scenario(), 1).unwrap();
+        let _ = a;
+        let mut one = scenario().run_seeded(1).unwrap();
+        let two = scenario().run_seeded(2).unwrap();
+        one.throughputs.pop();
+        assert!(aggregate(&[one, two]).is_err());
+    }
+}

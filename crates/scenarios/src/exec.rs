@@ -1,0 +1,290 @@
+//! Parallel sweep execution on `std::thread::scope`.
+//!
+//! Determinism policy (same contract as `fpk_core::montecarlo`): every
+//! job is a pure function of its linear index — cell parameters and all
+//! RNG seeds derive from `(base_seed, index)` — and results are merged
+//! back in index order. Output is therefore **bit-identical for a fixed
+//! base seed regardless of thread count**; the `FPK_THREADS` environment
+//! variable only changes wall-clock time.
+
+use crate::ensemble::{aggregate, Ensemble, EnsembleStats};
+use crate::sweep::{Cell, Sweep};
+use fpk_numerics::Result;
+use fpk_sim::RunSummary;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Worker count: the `FPK_THREADS` override when set to a positive
+/// integer, otherwise the machine's available parallelism.
+#[must_use]
+pub fn thread_count() -> usize {
+    std::env::var("FPK_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// Run `n_jobs` independent jobs on `threads` workers and return their
+/// results in job order.
+///
+/// Jobs are handed out through an atomic counter (dynamic load
+/// balancing) and merged by index, so the output does not depend on the
+/// thread count as long as `f` is a pure function of the index.
+pub fn run_indexed<T, F>(n_jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_jobs == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n_jobs);
+    if threads == 1 {
+        return (0..n_jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_jobs {
+                    break;
+                }
+                // The receiver outlives the scope; a send can only fail
+                // if the main thread panicked, which propagates anyway.
+                let _ = tx.send((i, f(i)));
+            });
+        }
+        drop(tx);
+    });
+    let mut out: Vec<(usize, T)> = rx.into_iter().collect();
+    out.sort_unstable_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Evaluate every cell of a sweep with a custom function, in parallel,
+/// results in cell order. For sweeps whose cells are not plain DES runs
+/// (fluid models, DDEs, theory curves).
+///
+/// # Errors
+/// Propagates the first failing cell (by cell order).
+pub fn run_cells<T, F>(sweep: &Sweep, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&Cell) -> Result<T> + Sync,
+{
+    let cells = sweep.cells();
+    run_indexed(cells.len(), thread_count(), |i| f(&cells[i]))
+        .into_iter()
+        .collect()
+}
+
+/// One axis of a [`SweepReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AxisReport {
+    /// Axis name.
+    pub name: String,
+    /// Grid points along the axis.
+    pub values: Vec<f64>,
+}
+
+/// One aggregated cell of a [`SweepReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Cell name (`base[axis=value,…]`).
+    pub name: String,
+    /// Linear row-major index in the grid.
+    pub index: usize,
+    /// Axis values at this cell, in axis order.
+    pub coords: Vec<f64>,
+    /// The cell's derived seed (replication seeds derive from it).
+    pub seed: u64,
+    /// Replication-aggregated statistics.
+    pub stats: EnsembleStats,
+}
+
+/// The JSON artifact a sweep run produces: one entry per cell, plus
+/// enough metadata (axes, seeds, replication count) to reproduce it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Sweep (base scenario) name; also the artifact file stem.
+    pub name: String,
+    /// Base seed all cell seeds derive from.
+    pub base_seed: u64,
+    /// Replications per cell.
+    pub replications: usize,
+    /// Axis metadata in declaration order.
+    pub axes: Vec<AxisReport>,
+    /// Aggregated cells in row-major grid order.
+    pub cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    /// Write the report to `results/<name>.json` via the shared artifact
+    /// writer and return the path.
+    pub fn write(&self) -> std::path::PathBuf {
+        crate::artifact::write_json(&self.name, self)
+    }
+
+    /// The cells whose coordinate on axis `k` equals `v` (within 1e-12).
+    #[must_use]
+    pub fn cells_where(&self, axis: usize, v: f64) -> Vec<&CellReport> {
+        self.cells
+            .iter()
+            .filter(|c| c.coords.get(axis).is_some_and(|&x| (x - v).abs() < 1e-12))
+            .collect()
+    }
+}
+
+/// Run a sweep with `replications` seeds per cell on the default worker
+/// count ([`thread_count`]).
+///
+/// # Errors
+/// Propagates the first failing replication (in deterministic job
+/// order) and ensemble-validation errors.
+pub fn run_sweep(sweep: &Sweep, replications: usize) -> Result<SweepReport> {
+    run_sweep_on(sweep, replications, thread_count())
+}
+
+/// [`run_sweep`] with an explicit worker count. Parallelism is over
+/// `(cell, replication)` jobs, so even a single-cell sweep with many
+/// replications scales.
+///
+/// # Errors
+/// See [`run_sweep`].
+pub fn run_sweep_on(sweep: &Sweep, replications: usize, threads: usize) -> Result<SweepReport> {
+    // Validates `replications >= 1`.
+    Ensemble::new(replications)?;
+    let cells = sweep.cells();
+    let n_jobs = cells.len() * replications;
+    let summaries: Vec<Result<RunSummary>> = run_indexed(n_jobs, threads, |job| {
+        let cell = &cells[job / replications];
+        let r = job % replications;
+        cell.scenario
+            .run_seeded(Ensemble::replication_seed(cell.seed, r))
+    });
+    let mut reports = Vec::with_capacity(cells.len());
+    let mut iter = summaries.into_iter();
+    for cell in cells {
+        let runs: Vec<RunSummary> = iter
+            .by_ref()
+            .take(replications)
+            .collect::<Result<Vec<_>>>()?;
+        reports.push(CellReport {
+            name: cell.scenario.name.clone(),
+            index: cell.index,
+            coords: cell.coords.clone(),
+            seed: cell.seed,
+            stats: aggregate(&runs)?,
+        });
+    }
+    Ok(SweepReport {
+        name: sweep.name().to_string(),
+        base_seed: sweep.base_seed(),
+        replications,
+        axes: sweep
+            .axes()
+            .iter()
+            .map(|a| AxisReport {
+                name: a.name.clone(),
+                values: a.values.clone(),
+            })
+            .collect(),
+        cells: reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::sweep::Axis;
+    use fpk_congestion::LinearExp;
+    use fpk_sim::{Service, SimConfig, SourceSpec};
+
+    fn sweep() -> Sweep {
+        let base = Scenario::new(
+            "exec",
+            SimConfig {
+                mu: 40.0,
+                service: Service::Exponential,
+                buffer: None,
+                t_end: 12.0,
+                warmup: 2.0,
+                sample_interval: 0.1,
+                seed: 0,
+            },
+            vec![SourceSpec::Rate {
+                law: LinearExp::new(8.0, 0.5, 10.0),
+                lambda0: 15.0,
+                update_interval: 0.1,
+                prop_delay: 0.01,
+                poisson: true,
+            }],
+        );
+        Sweep::new(base, 2024)
+            .axis(Axis::mu(vec![30.0, 60.0]))
+            .axis(Axis::flow_count(vec![1.0, 2.0]))
+    }
+
+    #[test]
+    fn run_indexed_orders_results() {
+        for threads in [1, 2, 7] {
+            let out = run_indexed(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn sweep_output_bit_identical_across_thread_counts() {
+        let s = sweep();
+        let a = run_sweep_on(&s, 3, 1).unwrap();
+        let b = run_sweep_on(&s, 3, 4).unwrap();
+        let c = run_sweep_on(&s, 3, 13).unwrap();
+        let ja = serde_json::to_string(&a).unwrap();
+        assert_eq!(ja, serde_json::to_string(&b).unwrap());
+        assert_eq!(ja, serde_json::to_string(&c).unwrap());
+        assert_eq!(a.cells.len(), 4);
+        assert_eq!(a.cells[3].stats.flow_throughput.len(), 2);
+    }
+
+    #[test]
+    fn run_cells_custom_evaluator() {
+        // A "fluid" sweep that ignores the DES bundle entirely.
+        let out = run_cells(&sweep(), |cell| Ok(cell.coords[0] + cell.coords[1])).unwrap();
+        assert_eq!(out, vec![31.0, 32.0, 61.0, 62.0]);
+    }
+
+    #[test]
+    fn errors_propagate_deterministically() {
+        let mut s = sweep();
+        // Poison the base config so every cell fails validation.
+        s = Sweep::new(
+            {
+                let mut base = s.cells()[0].scenario.clone();
+                base.config.mu = -1.0;
+                base
+            },
+            1,
+        )
+        .axis(Axis::flow_count(vec![1.0, 2.0]));
+        assert!(run_sweep_on(&s, 2, 3).is_err());
+    }
+
+    #[test]
+    fn cells_where_selects_by_coordinate() {
+        let report = run_sweep_on(&sweep(), 1, 2).unwrap();
+        let hits = report.cells_where(0, 30.0);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|c| c.coords[0] == 30.0));
+    }
+}

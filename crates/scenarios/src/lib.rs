@@ -1,0 +1,67 @@
+//! `fpk-scenarios` — the scenario / sweep / ensemble layer over the
+//! discrete-event simulator.
+//!
+//! The paper's tables are all parameter sweeps (γ/δ grids, flow counts,
+//! delays, DECbit thresholds); this crate replaces the hand-rolled sweep
+//! loop every experiment binary used to carry with four composable
+//! pieces:
+//!
+//! * [`Scenario`] — a named bundle of `SimConfig` + sources + faults
+//!   (optionally a tandem topology): everything a run needs but a seed.
+//! * [`Sweep`] + [`Axis`] — expand parameter axes into a cartesian grid
+//!   of cells, each with a deterministic seed derived splitmix-style
+//!   from `(base_seed, cell_index)`.
+//! * [`Ensemble`] — R replications per cell aggregated into
+//!   mean / std-dev / 95% CI per `RunSummary` field.
+//! * [`run_sweep`] — a parallel executor on `std::thread::scope` with
+//!   the `montecarlo.rs` determinism policy: bit-identical output for a
+//!   fixed base seed regardless of thread count (`FPK_THREADS`
+//!   overrides the worker count), plus the shared `results/<name>.json`
+//!   artifact writer ([`write_json`]).
+//!
+//! # Example
+//!
+//! A 2×2 grid (service rate × flow count), three seeds per cell:
+//!
+//! ```
+//! use fpk_congestion::LinearExp;
+//! use fpk_scenarios::{run_sweep, Axis, Scenario, Sweep};
+//! use fpk_sim::{Service, SimConfig, SourceSpec};
+//!
+//! let base = Scenario::new(
+//!     "doc_grid",
+//!     SimConfig {
+//!         mu: 50.0, service: Service::Exponential, buffer: None,
+//!         t_end: 10.0, warmup: 2.0, sample_interval: 0.1, seed: 0,
+//!     },
+//!     vec![SourceSpec::Rate {
+//!         law: LinearExp::new(8.0, 0.5, 10.0),
+//!         lambda0: 20.0, update_interval: 0.1, prop_delay: 0.01, poisson: true,
+//!     }],
+//! );
+//! let sweep = Sweep::new(base, 42)
+//!     .axis(Axis::mu(vec![40.0, 80.0]))
+//!     .axis(Axis::flow_count(vec![1.0, 2.0]));
+//! let report = run_sweep(&sweep, 3)?;
+//! assert_eq!(report.cells.len(), 4);
+//! assert!(report.cells.iter().all(|c| c.stats.utilization.mean > 0.0));
+//! # Ok::<(), fpk_numerics::NumericsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod ensemble;
+pub mod exec;
+pub mod scenario;
+pub mod sweep;
+
+pub use artifact::{results_dir, write_json};
+pub use ensemble::{aggregate, Ensemble, EnsembleStats, Stat};
+pub use exec::{
+    run_cells, run_indexed, run_sweep, run_sweep_on, thread_count, AxisReport, CellReport,
+    SweepReport,
+};
+pub use scenario::{Scenario, TandemScenario};
+pub use sweep::{derive_seed, Axis, Cell, Sweep};

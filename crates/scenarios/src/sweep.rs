@@ -1,0 +1,352 @@
+//! [`Sweep`] — expand parameter axes into a cartesian grid of seeded
+//! [`Scenario`] cells.
+//!
+//! Each axis pairs a list of values with an *apply* function that
+//! imprints the value onto a scenario; the sweep takes the cartesian
+//! product of all axes (last axis fastest, row-major) and derives one
+//! deterministic seed per cell splitmix-style from
+//! `(base_seed, cell_index)`. Cell seeds depend only on the base seed
+//! and the cell's linear index, so reordering the execution (or running
+//! it on a different thread count) cannot change any result.
+
+use crate::scenario::Scenario;
+use std::fmt;
+use std::sync::Arc;
+
+/// The function an [`Axis`] uses to imprint a value onto a scenario.
+pub type ApplyFn = Arc<dyn Fn(&mut Scenario, f64) + Send + Sync>;
+
+/// One sweep dimension: a named list of values plus how to apply them.
+#[derive(Clone)]
+pub struct Axis {
+    /// Axis name (appears in cell names and the sweep report).
+    pub name: String,
+    /// The grid points along this axis.
+    pub values: Vec<f64>,
+    apply: ApplyFn,
+}
+
+impl fmt::Debug for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Axis")
+            .field("name", &self.name)
+            .field("values", &self.values)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Axis {
+    /// An axis with a custom apply function.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        values: Vec<f64>,
+        apply: impl Fn(&mut Scenario, f64) + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            values,
+            apply: Arc::new(apply),
+        }
+    }
+
+    /// An axis that only labels cells — the value is consumed by a
+    /// custom per-cell evaluator, not by the scenario itself (e.g. a
+    /// fluid-model sweep that ignores the DES bundle).
+    #[must_use]
+    pub fn label_only(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self::new(name, values, |_, _| {})
+    }
+
+    /// Sweep the bottleneck service rate μ.
+    #[must_use]
+    pub fn mu(values: Vec<f64>) -> Self {
+        Self::new("mu", values, |sc, v| sc.config.mu = v)
+    }
+
+    /// Sweep the buffer limit; non-finite values mean "infinite".
+    #[must_use]
+    pub fn buffer(values: Vec<f64>) -> Self {
+        Self::new("buffer", values, |sc, v| {
+            sc.config.buffer = if v.is_finite() { Some(v as u64) } else { None };
+        })
+    }
+
+    /// Sweep the fault-injection loss probability.
+    #[must_use]
+    pub fn loss_prob(values: Vec<f64>) -> Self {
+        Self::new("loss_prob", values, |sc, v| sc.faults.loss_prob = v)
+    }
+
+    /// Sweep the initial window `w0` of every window/DECbit source.
+    #[must_use]
+    pub fn w0(values: Vec<f64>) -> Self {
+        Self::new("w0", values, |sc, v| {
+            for src in &mut sc.sources {
+                match src {
+                    fpk_sim::SourceSpec::Window { w0, .. }
+                    | fpk_sim::SourceSpec::Decbit { w0, .. } => *w0 = v,
+                    fpk_sim::SourceSpec::Rate { .. } | fpk_sim::SourceSpec::OnOff { .. } => {}
+                }
+            }
+        })
+    }
+
+    /// Sweep the one-way propagation delay of every source (window and
+    /// DECbit sources store it as an RTT, i.e. `2 × delay`).
+    #[must_use]
+    pub fn delay(values: Vec<f64>) -> Self {
+        Self::new("delay", values, |sc, v| {
+            for src in &mut sc.sources {
+                match src {
+                    fpk_sim::SourceSpec::Rate { prop_delay, .. }
+                    | fpk_sim::SourceSpec::OnOff { prop_delay, .. } => *prop_delay = v,
+                    fpk_sim::SourceSpec::Window { aimd, .. } => aimd.rtt = 2.0 * v,
+                    fpk_sim::SourceSpec::Decbit { rtt, .. } => *rtt = 2.0 * v,
+                }
+            }
+        })
+    }
+
+    /// Sweep the number of flows by replicating the scenario's first
+    /// source (values are rounded and clamped to ≥ 1).
+    #[must_use]
+    pub fn flow_count(values: Vec<f64>) -> Self {
+        Self::new("flows", values, |sc, v| {
+            let n = (v.round().max(1.0)) as usize;
+            let proto = sc.sources.first().cloned();
+            if let Some(proto) = proto {
+                sc.sources = vec![proto; n];
+            }
+        })
+    }
+}
+
+/// One cell of the expanded grid.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Linear (row-major) index into the grid.
+    pub index: usize,
+    /// The value of each axis at this cell, in axis order.
+    pub coords: Vec<f64>,
+    /// Deterministic seed derived from `(base_seed, index)`.
+    pub seed: u64,
+    /// The base scenario with every axis value applied.
+    pub scenario: Scenario,
+}
+
+/// A cartesian parameter sweep over a base scenario.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    base: Scenario,
+    axes: Vec<Axis>,
+    base_seed: u64,
+}
+
+impl Sweep {
+    /// Start a sweep from a base scenario and a base seed.
+    #[must_use]
+    pub fn new(base: Scenario, base_seed: u64) -> Self {
+        Self {
+            base,
+            axes: Vec::new(),
+            base_seed,
+        }
+    }
+
+    /// Append an axis (the last-added axis varies fastest).
+    #[must_use]
+    pub fn axis(mut self, axis: Axis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Name of the base scenario.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.base.name
+    }
+
+    /// The base seed cell seeds are derived from.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The axes in declaration order.
+    #[must_use]
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Number of grid cells (product of axis lengths; 1 with no axes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// True when any axis is empty (the grid has no cells).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand the cartesian grid into seeded cells.
+    #[must_use]
+    pub fn cells(&self) -> Vec<Cell> {
+        let total = self.len();
+        let mut cells = Vec::with_capacity(total);
+        for index in 0..total {
+            // Decode the row-major index into per-axis positions (last
+            // axis fastest).
+            let mut rem = index;
+            let mut positions = vec![0usize; self.axes.len()];
+            for (k, axis) in self.axes.iter().enumerate().rev() {
+                positions[k] = rem % axis.values.len();
+                rem /= axis.values.len();
+            }
+            let mut scenario = self.base.clone();
+            let mut coords = Vec::with_capacity(self.axes.len());
+            let mut label = String::new();
+            for (axis, &pos) in self.axes.iter().zip(&positions) {
+                let v = axis.values[pos];
+                (axis.apply)(&mut scenario, v);
+                coords.push(v);
+                if !label.is_empty() {
+                    label.push(',');
+                }
+                label.push_str(&format!("{}={v}", axis.name));
+            }
+            if !label.is_empty() {
+                scenario.name = format!("{}[{label}]", self.base.name);
+            }
+            cells.push(Cell {
+                index,
+                coords,
+                seed: derive_seed(self.base_seed, index as u64),
+                scenario,
+            });
+        }
+        cells
+    }
+}
+
+/// Derive a stream seed from `(base, index)` with the splitmix64
+/// finaliser — the same construction `montecarlo.rs` relies on for
+/// reproducibility, but with full avalanche so neighbouring cells do not
+/// get correlated `StdRng` streams.
+#[must_use]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        ^ index
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpk_congestion::LinearExp;
+    use fpk_sim::{Service, SimConfig, SourceSpec};
+
+    fn base() -> Scenario {
+        Scenario::new(
+            "grid",
+            SimConfig {
+                mu: 50.0,
+                service: Service::Exponential,
+                buffer: None,
+                t_end: 10.0,
+                warmup: 2.0,
+                sample_interval: 0.1,
+                seed: 0,
+            },
+            vec![SourceSpec::Rate {
+                law: LinearExp::new(8.0, 0.5, 10.0),
+                lambda0: 20.0,
+                update_interval: 0.1,
+                prop_delay: 0.01,
+                poisson: true,
+            }],
+        )
+    }
+
+    #[test]
+    fn cartesian_expansion_row_major() {
+        let sweep = Sweep::new(base(), 42)
+            .axis(Axis::mu(vec![10.0, 20.0]))
+            .axis(Axis::flow_count(vec![1.0, 2.0, 4.0]));
+        assert_eq!(sweep.len(), 6);
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 6);
+        // Last axis fastest: (10,1) (10,2) (10,4) (20,1) (20,2) (20,4).
+        assert_eq!(cells[0].coords, vec![10.0, 1.0]);
+        assert_eq!(cells[2].coords, vec![10.0, 4.0]);
+        assert_eq!(cells[3].coords, vec![20.0, 1.0]);
+        assert_eq!(cells[2].scenario.sources.len(), 4);
+        assert_eq!(cells[3].scenario.config.mu, 20.0);
+        assert_eq!(cells[4].scenario.name, "grid[mu=20,flows=2]");
+    }
+
+    #[test]
+    fn seeds_deterministic_and_distinct() {
+        let sweep = Sweep::new(base(), 42).axis(Axis::mu(vec![10.0, 20.0, 30.0]));
+        let a = sweep.cells();
+        let b = sweep.cells();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+        }
+        let mut seeds: Vec<u64> = a.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 3, "cell seeds must be pairwise distinct");
+        // Different base seed → different streams.
+        let c = Sweep::new(base(), 43)
+            .axis(Axis::mu(vec![10.0, 20.0, 30.0]))
+            .cells();
+        assert_ne!(a[0].seed, c[0].seed);
+    }
+
+    #[test]
+    fn builtin_axes_apply() {
+        let sweep = Sweep::new(base(), 1)
+            .axis(Axis::buffer(vec![8.0, f64::INFINITY]))
+            .axis(Axis::loss_prob(vec![0.0, 0.1]))
+            .axis(Axis::delay(vec![0.05]));
+        let cells = sweep.cells();
+        // 2 × 2 × 1 grid, delay fastest: (8,0) (8,0.1) (∞,0) (∞,0.1).
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].scenario.config.buffer, Some(8));
+        assert_eq!(cells[1].scenario.config.buffer, Some(8));
+        assert_eq!(cells[2].scenario.config.buffer, None);
+        assert_eq!(cells[3].scenario.config.buffer, None);
+        assert!((cells[1].scenario.faults.loss_prob - 0.1).abs() < 1e-15);
+        assert!(cells[0].scenario.faults.loss_prob.abs() < 1e-15);
+        match &cells[0].scenario.sources[0] {
+            SourceSpec::Rate { prop_delay, .. } => assert!((prop_delay - 0.05).abs() < 1e-15),
+            _ => panic!("unexpected source kind"),
+        }
+    }
+
+    #[test]
+    fn empty_axis_empties_the_grid() {
+        let sweep = Sweep::new(base(), 1).axis(Axis::mu(Vec::new()));
+        assert!(sweep.is_empty());
+        assert!(sweep.cells().is_empty());
+    }
+
+    #[test]
+    fn derive_seed_avalanches() {
+        // Neighbouring indices must not produce neighbouring seeds.
+        let s0 = derive_seed(7, 0);
+        let s1 = derive_seed(7, 1);
+        assert_ne!(s0, s1);
+        assert!(
+            (s0 ^ s1).count_ones() > 8,
+            "weak diffusion: {s0:x} vs {s1:x}"
+        );
+    }
+}

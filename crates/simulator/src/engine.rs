@@ -188,11 +188,26 @@ pub fn run_with_faults(
                         EventKind::Arrival { flow: i },
                     );
                 }
-                flows[i].sent += burst;
+                // The burst leaves the source at t = 0: count it only
+                // when the warm-up window is empty, like every other
+                // counter (`sent` elsewhere is gated on t >= warmup).
+                if config.warmup <= 0.0 {
+                    flows[i].sent += burst;
+                }
             }
         }
     }
     ev.push(0.0, EventKind::Sample);
+    // Sample schedule: t_k = k·sample_interval for every k with
+    // k·Δ ≤ t_end. Each time is computed as a fresh multiple — the old
+    // `t += Δ` rescheduling accumulated floating-point drift, so long
+    // traces could gain or lose a sample at the horizon.
+    // Relative + absolute tolerance: the quotient's rounding error is
+    // relative (~1e-16·k), so an absolute fudge alone would lose the
+    // final sample again once k ≳ 1e8.
+    let sample_quotient = config.t_end / config.sample_interval;
+    let last_sample_index = (sample_quotient * (1.0 + 1e-12) + 1e-9).floor() as u64;
+    let mut next_sample_index: u64 = 0;
     // Router-side averaged queue for DECbit marking.
     let mut averager = QueueAverager::new(0.0);
     let any_decbit = sources
@@ -471,7 +486,13 @@ pub fn run_with_faults(
                         })
                         .collect(),
                 );
-                ev.push(t + config.sample_interval, EventKind::Sample);
+                next_sample_index += 1;
+                if next_sample_index <= last_sample_index {
+                    // The multiple can round a hair past t_end; clamp so
+                    // the final sample still lands inside the horizon.
+                    let tk = (next_sample_index as f64 * config.sample_interval).min(config.t_end);
+                    ev.push(tk, EventKind::Sample);
+                }
             }
         }
     }
@@ -669,6 +690,111 @@ mod tests {
         cfg2.warmup = cfg2.t_end;
         assert!(run(&cfg2, &[rate_source(1.0, 0.01)]).is_err());
         assert!(run(&base_config(), &[]).is_err());
+    }
+
+    #[test]
+    fn initial_burst_respects_warmup_gate() {
+        // Identical runs except for the warm-up cut; the cut falls before
+        // the first packet even reaches the queue (arrival at prop_delay
+        // = 50 ms), so the *only* counter it may change is `sent`: the
+        // t = 0 burst must be excluded, exactly like every ack-clocked
+        // send is. Regression for the burst bypassing the warmup gate.
+        let mk_cfg = |warmup: f64| SimConfig {
+            mu: 50.0,
+            service: Service::Deterministic,
+            buffer: None,
+            t_end: 20.0,
+            warmup,
+            sample_interval: 0.1,
+            seed: 11,
+        };
+        let src = SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, 0.1, 10.0),
+            w0: 8.0,
+        };
+        let all = run(&mk_cfg(0.0), std::slice::from_ref(&src)).unwrap();
+        let gated = run(&mk_cfg(0.01), std::slice::from_ref(&src)).unwrap();
+        // Dynamics are seed-identical; delivered/dropped see no event in
+        // [0, 0.01), so only the burst may differ.
+        assert_eq!(all.flows[0].delivered, gated.flows[0].delivered);
+        assert_eq!(all.flows[0].dropped, gated.flows[0].dropped);
+        assert_eq!(
+            all.flows[0].sent - gated.flows[0].sent,
+            8,
+            "warmup must exclude exactly the initial burst of ⌊w0⌋ packets"
+        );
+    }
+
+    #[test]
+    fn sent_accounting_consistent_post_warmup() {
+        // With warmup = 0 every counter sees every packet, so the books
+        // must balance: sent = delivered + dropped + (still in flight at
+        // t_end), and the in-flight remainder is bounded by the peak
+        // window. Holds for both plain and lossy runs.
+        let cfg = SimConfig {
+            mu: 100.0,
+            service: Service::Exponential,
+            buffer: Some(20),
+            t_end: 60.0,
+            warmup: 0.0,
+            sample_interval: 0.1,
+            seed: 5,
+        };
+        let src = SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, 0.05, 12.0),
+            w0: 4.0,
+        };
+        for loss_prob in [0.0, 0.05] {
+            let out = run_with_faults(&cfg, std::slice::from_ref(&src), &FaultConfig { loss_prob })
+                .unwrap();
+            let f = &out.flows[0];
+            let accounted = f.delivered + f.dropped;
+            let peak_window = out
+                .trace_ctl
+                .iter()
+                .map(|c| c[0])
+                .fold(f64::MIN, f64::max)
+                .ceil() as u64;
+            assert!(
+                f.sent >= accounted,
+                "sent {} < delivered {} + dropped {}",
+                f.sent,
+                f.delivered,
+                f.dropped
+            );
+            assert!(
+                f.sent - accounted <= peak_window + 1,
+                "unaccounted in-flight {} exceeds peak window {}",
+                f.sent - accounted,
+                peak_window
+            );
+        }
+    }
+
+    #[test]
+    fn sample_count_exact_at_horizon() {
+        // 100 s at 0.1 s spacing: exactly 1001 samples (k = 0..=1000),
+        // each at an exact multiple of the interval. Repeated `t += Δ`
+        // scheduling drifted by ~1e-13/step and could miss the final
+        // sample; multiples cannot.
+        let cfg = SimConfig {
+            mu: 20.0,
+            service: Service::Exponential,
+            buffer: None,
+            t_end: 100.0,
+            warmup: 10.0,
+            sample_interval: 0.1,
+            seed: 9,
+        };
+        let out = run(&cfg, &[rate_source(5.0, 0.01)]).unwrap();
+        assert_eq!(out.trace_t.len(), 1001, "expected exactly 1001 samples");
+        for (k, &t) in out.trace_t.iter().enumerate() {
+            let expect = (k as f64 * 0.1).min(cfg.t_end);
+            assert!(
+                (t - expect).abs() < 1e-9,
+                "sample {k} at {t}, expected {expect}"
+            );
+        }
     }
 
     #[test]

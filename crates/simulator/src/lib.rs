@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod source;
 pub mod tandem;
 
-pub use engine::{run, Service, SimConfig, SimResult};
+pub use engine::{run, run_with_faults, FaultConfig, FlowStats, Service, SimConfig, SimResult};
+pub use metrics::{summarize, RunSummary};
 pub use source::SourceSpec;
-pub use tandem::{run_tandem, TandemConfig, TandemFlow};
+pub use tandem::{run_tandem, TandemConfig, TandemFlow, TandemResult};

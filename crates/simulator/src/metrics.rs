@@ -23,6 +23,10 @@ pub struct RunSummary {
     pub queue_oscillation: Option<Oscillation>,
     /// Total packets dropped across flows.
     pub total_dropped: u64,
+    /// Standard deviation of each flow's control signal (rate λ, window,
+    /// or on/off phase) over the analysed trace tail — the
+    /// control-variability number the DECbit experiments report.
+    pub ctl_std: Vec<f64>,
 }
 
 /// Summarise a simulation result, analysing the final `tail_fraction` of
@@ -30,8 +34,17 @@ pub struct RunSummary {
 ///
 /// # Errors
 /// [`NumericsError::InvalidParameter`] when the trace is shorter than
-/// three samples; propagates fairness-metric errors.
+/// three samples or `tail_fraction` is NaN or outside `(0, 1]`;
+/// propagates fairness-metric errors.
 pub fn summarize(result: &SimResult, tail_fraction: f64) -> Result<RunSummary> {
+    // Validate here rather than letting the value fall through to
+    // `analyze_oscillation`: a NaN or out-of-range fraction is a caller
+    // bug and must be reported against *this* API's contract.
+    if tail_fraction.is_nan() || !(0.0..=1.0).contains(&tail_fraction) || tail_fraction == 0.0 {
+        return Err(NumericsError::InvalidParameter {
+            context: "summarize: tail_fraction must lie in (0, 1]",
+        });
+    }
     if result.trace_t.len() < 3 {
         return Err(NumericsError::InvalidParameter {
             context: "summarize: trace too short",
@@ -40,12 +53,23 @@ pub fn summarize(result: &SimResult, tail_fraction: f64) -> Result<RunSummary> {
     let throughputs: Vec<f64> = result.flows.iter().map(|f| f.throughput).collect();
     let jain = fpk_congestion::fairness::jain_index(&throughputs)?;
     let queue_oscillation = analyze_oscillation(&result.trace_t, &result.trace_q, tail_fraction)?;
+    // Same tail window as the oscillation analysis, including its
+    // keep-at-least-3-samples clamp.
+    let start = ((1.0 - tail_fraction) * result.trace_ctl.len() as f64) as usize;
+    let tail = &result.trace_ctl[start.min(result.trace_ctl.len().saturating_sub(3))..];
+    let ctl_std = (0..result.flows.len())
+        .map(|i| {
+            let xs: Vec<f64> = tail.iter().map(|c| c[i]).collect();
+            fpk_numerics::stats::variance(&xs).sqrt()
+        })
+        .collect();
     Ok(RunSummary {
         jain,
         mean_queue: result.mean_queue,
         utilization: result.utilization,
         queue_oscillation,
         total_dropped: result.flows.iter().map(|f| f.dropped).sum(),
+        ctl_std,
         throughputs,
     })
 }
@@ -95,6 +119,12 @@ mod tests {
         assert!(s.jain > 0.5 && s.jain <= 1.0);
         assert!(s.mean_queue >= 0.0);
         assert!(s.utilization > 0.0);
+        assert_eq!(s.ctl_std.len(), 2);
+        assert!(
+            s.ctl_std.iter().all(|v| v.is_finite() && *v > 0.0),
+            "adaptive rates must vary over the tail: {:?}",
+            s.ctl_std
+        );
     }
 
     #[test]
@@ -111,5 +141,21 @@ mod tests {
         r.trace_t.truncate(2);
         r.trace_q.truncate(2);
         assert!(summarize(&r, 0.5).is_err());
+    }
+
+    #[test]
+    fn summarize_rejects_nan_tail_fraction() {
+        let r = quick_result();
+        assert!(summarize(&r, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn summarize_rejects_out_of_range_tail_fraction() {
+        let r = quick_result();
+        assert!(summarize(&r, 0.0).is_err());
+        assert!(summarize(&r, -0.3).is_err());
+        assert!(summarize(&r, 1.5).is_err());
+        // The boundary 1.0 (analyse the whole trace) is legal.
+        assert!(summarize(&r, 1.0).is_ok());
     }
 }

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Run the four criterion benches in quick mode and merge their results
+# Run the five criterion benches in quick mode and merge their results
 # into one machine-readable baseline, BENCH_baseline.json.
+# `scenario_grid` times the fpk-scenarios sweep runner serial vs
+# parallel, so future PRs can track runner overhead and speedup.
 #
 # Quick mode (FPK_BENCH_QUICK=1, honoured by the vendored criterion —
 # see DESIGN.md §Vendoring) cuts per-sample time and sample counts hard:
@@ -17,7 +19,7 @@ out="${1:-BENCH_baseline.json}"
 lines="$(mktemp)"
 trap 'rm -f "$lines"' EXIT
 
-for bench in numerics fp_solver fluid_and_dde simulator; do
+for bench in numerics fp_solver fluid_and_dde simulator scenario_grid; do
     echo "== bench: $bench =="
     FPK_BENCH_QUICK=1 FPK_BENCH_JSON="$lines" \
         cargo bench -q -p fpk-bench --bench "$bench"

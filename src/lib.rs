@@ -14,6 +14,9 @@
 //!   joint density f(t, q, ν), plus Langevin Monte Carlo.
 //! * [`sim`] — a discrete-event bottleneck simulator with rate- and
 //!   window-based adaptive sources and delayed feedback.
+//! * [`scenarios`] — named scenario bundles, cartesian parameter sweeps
+//!   with deterministic per-cell seeds, replicated ensembles
+//!   (mean/std/95% CI), and a thread-count-independent parallel runner.
 //!
 //! See `README.md` for a guided tour and `DESIGN.md` / `EXPERIMENTS.md`
 //! for the experiment inventory.
@@ -44,4 +47,5 @@ pub use fpk_congestion as congestion;
 pub use fpk_core as fpk;
 pub use fpk_fluid as fluid;
 pub use fpk_numerics as numerics;
+pub use fpk_scenarios as scenarios;
 pub use fpk_sim as sim;

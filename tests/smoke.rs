@@ -11,7 +11,7 @@
 use fpk_repro::congestion::decbit::DecbitPolicy;
 use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::fpk::{Density, FpProblem, FpSolver};
-use fpk_repro::sim::{run, Service, SimConfig, SourceSpec};
+use fpk_repro::sim::{run, run_with_faults, FaultConfig, Service, SimConfig, SourceSpec};
 
 fn short_config(seed: u64) -> SimConfig {
     SimConfig {
@@ -168,6 +168,145 @@ fn des_mixed_sources_smoke() {
         out.flows.iter().all(|f| f.throughput > 0.0),
         "every flow must deliver packets"
     );
+}
+
+/// Fault-injected variant of [`check_result`]: random link loss must be
+/// visible in the drop counters while the flow still makes progress.
+fn check_lossy_result(out: &fpk_repro::sim::SimResult, what: &str) {
+    check_result(out, 1, what);
+    assert!(
+        out.flows[0].dropped > 0,
+        "{what}: loss_prob > 0 must produce injected drops"
+    );
+    assert!(
+        out.flows[0].delivered > 0,
+        "{what}: flow must keep delivering under loss"
+    );
+}
+
+#[test]
+fn des_rate_source_with_loss_smoke() {
+    // Rate flows simply lose the packet; the sent/dropped books must
+    // reflect it and throughput stays positive.
+    let out = run_with_faults(
+        &short_config(31),
+        &[SourceSpec::Rate {
+            law: LinearExp::new(8.0, 0.5, 10.0),
+            lambda0: 20.0,
+            update_interval: 0.1,
+            prop_delay: 0.01,
+            poisson: true,
+        }],
+        &FaultConfig { loss_prob: 0.08 },
+    )
+    .expect("lossy rate run");
+    check_lossy_result(&out, "lossy rate source");
+    assert!(
+        out.flows[0].sent > out.flows[0].delivered,
+        "lost packets cannot be delivered"
+    );
+}
+
+#[test]
+fn des_window_source_with_loss_smoke() {
+    // Window flows see drop-as-mark: every loss returns a marked ack, so
+    // the flow stays ack-clocked and keeps making progress.
+    let out = run_with_faults(
+        &short_config(32),
+        &[SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, 0.05, 10.0),
+            w0: 2.0,
+        }],
+        &FaultConfig { loss_prob: 0.08 },
+    )
+    .expect("lossy window run");
+    check_lossy_result(&out, "lossy window source");
+    // The marked acks must actually cut the window now and then, yet the
+    // window can never fall below 1 — the flow never stalls.
+    let windows: Vec<f64> = out.trace_ctl.iter().map(|c| c[0]).collect();
+    assert!(windows.iter().all(|&w| w >= 1.0), "window fell below 1");
+    assert!(
+        windows.iter().any(|&w| w > 2.0),
+        "window never grew despite ack-clocking"
+    );
+}
+
+#[test]
+fn des_onoff_source_with_loss_smoke() {
+    let out = run_with_faults(
+        &short_config(33),
+        &[SourceSpec::OnOff {
+            peak_rate: 60.0,
+            mean_on: 0.5,
+            mean_off: 0.5,
+            prop_delay: 0.01,
+        }],
+        &FaultConfig { loss_prob: 0.08 },
+    )
+    .expect("lossy on-off run");
+    check_lossy_result(&out, "lossy on-off source");
+}
+
+#[test]
+fn des_decbit_source_with_loss_smoke() {
+    let out = run_with_faults(
+        &short_config(34),
+        &[SourceSpec::Decbit {
+            policy: DecbitPolicy::raja88(),
+            rtt: 0.05,
+            w0: 2.0,
+            q_hat: 1.0,
+        }],
+        &FaultConfig { loss_prob: 0.08 },
+    )
+    .expect("lossy decbit run");
+    check_lossy_result(&out, "lossy DECbit source");
+    let windows: Vec<f64> = out.trace_ctl.iter().map(|c| c[0]).collect();
+    assert!(
+        windows.iter().all(|&w| w >= 1.0),
+        "DECbit window fell below 1 under drop-as-mark"
+    );
+}
+
+#[test]
+fn des_mixed_sources_with_loss_smoke() {
+    // All four variants under the same lossy bottleneck: every flow must
+    // record drops *and* keep delivering.
+    let out = run_with_faults(
+        &short_config(35),
+        &[
+            SourceSpec::Rate {
+                law: LinearExp::new(4.0, 0.5, 12.0),
+                lambda0: 5.0,
+                update_interval: 0.1,
+                prop_delay: 0.01,
+                poisson: true,
+            },
+            SourceSpec::Window {
+                aimd: WindowAimd::new(1.0, 0.5, 0.05, 10.0),
+                w0: 2.0,
+            },
+            SourceSpec::OnOff {
+                peak_rate: 20.0,
+                mean_on: 0.3,
+                mean_off: 0.7,
+                prop_delay: 0.01,
+            },
+            SourceSpec::Decbit {
+                policy: DecbitPolicy::raja88(),
+                rtt: 0.05,
+                w0: 2.0,
+                q_hat: 1.0,
+            },
+        ],
+        &FaultConfig { loss_prob: 0.08 },
+    )
+    .expect("lossy mixed run");
+    check_result(&out, 4, "lossy mixed sources");
+    for (i, f) in out.flows.iter().enumerate() {
+        assert!(f.dropped > 0, "flow {i} saw no injected drops");
+        assert!(f.delivered > 0, "flow {i} stalled under loss");
+    }
 }
 
 #[test]
