@@ -1,9 +1,12 @@
 //! Criterion benchmarks of the discrete-event simulator: events per
-//! second for rate- and window-based sources and scaling in flow count.
+//! second for rate- and window-based sources, scaling in flow count,
+//! and the topology-first engine's scaling in hop count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpk_congestion::{LinearExp, WindowAimd};
-use fpk_sim::{run, Service, SimConfig, SourceSpec};
+use fpk_sim::{
+    run, run_network, FlowSpec, Link, NetConfig, Route, Service, SimConfig, SourceSpec, Topology,
+};
 use std::hint::black_box;
 
 fn config(seed: u64) -> SimConfig {
@@ -67,9 +70,49 @@ fn bench_service_disciplines(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_network_by_hops(c: &mut Criterion) {
+    // The fig8 shape: one long flow over K hops + K single-hop cross
+    // flows, 20 simulated seconds. Tracks the unified engine's per-hop
+    // overhead (events scale roughly linearly with K).
+    let mut group = c.benchmark_group("sim_network_by_hops");
+    for k in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let window = |route: Route| FlowSpec {
+                source: SourceSpec::Window {
+                    aimd: WindowAimd::new(1.0, 0.5, 0.05, 10.0),
+                    w0: 2.0,
+                },
+                route,
+            };
+            let mut flows = vec![window(Route::full(k))];
+            for hop in 0..k {
+                flows.push(window(Route::single(hop)));
+            }
+            let net = NetConfig {
+                topology: Topology::uniform(
+                    k,
+                    Link {
+                        mu: 100.0,
+                        service: Service::Exponential,
+                        buffer: None,
+                    },
+                ),
+                faults: Vec::new(),
+                t_end: 20.0,
+                warmup: 2.0,
+                sample_interval: 0.5,
+                seed: 4,
+            };
+            b.iter(|| run_network(black_box(&net), black_box(&flows)).expect("sim"));
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_rate_flows, bench_window_flows, bench_service_disciplines
+    targets = bench_rate_flows, bench_window_flows, bench_service_disciplines,
+        bench_network_by_hops
 }
 criterion_main!(benches);

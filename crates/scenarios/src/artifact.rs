@@ -8,12 +8,17 @@ use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 
-/// Where JSON artifacts are written: `results/` under the current
-/// working directory (the workspace root when run via `cargo run`), or
-/// the current directory when `results/` cannot be created.
+/// Where JSON artifacts are written: the `FPK_RESULTS_DIR` environment
+/// variable when set and non-empty, otherwise `results/` under the
+/// current working directory (the workspace root when run via
+/// `cargo run`); falls back to the current directory when the chosen
+/// directory cannot be created.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from("results");
+    let dir = std::env::var("FPK_RESULTS_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
     if fs::create_dir_all(&dir).is_ok() {
         dir
     } else {
@@ -38,8 +43,11 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
 mod tests {
     use super::*;
 
+    // One test covers both the default path and the env override: the
+    // env var is process-global, so probing it in a second test would
+    // race the first under the threaded test runner.
     #[test]
-    fn writes_and_returns_path() {
+    fn writes_and_returns_path_honoring_env_override() {
         #[derive(Serialize)]
         struct Tiny {
             x: u32,
@@ -49,5 +57,14 @@ mod tests {
         let body = fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"x\": 7"));
         let _ = fs::remove_file(path);
+
+        let override_dir = std::env::temp_dir().join("fpk_results_override_selftest");
+        std::env::set_var("FPK_RESULTS_DIR", &override_dir);
+        let path = write_json("scenarios_artifact_selftest_env", &Tiny { x: 9 });
+        std::env::remove_var("FPK_RESULTS_DIR");
+        assert_eq!(path.parent(), Some(override_dir.as_path()));
+        assert!(path.exists());
+        let _ = fs::remove_file(path);
+        let _ = fs::remove_dir(override_dir);
     }
 }

@@ -1,6 +1,6 @@
 //! [`Ensemble`] — R replications of a scenario aggregated into
 //! mean / standard deviation / 95% confidence intervals per
-//! [`RunSummary`](fpk_sim::RunSummary) field.
+//! [`RunSummary`] field.
 //!
 //! Replication seeds are derived from the cell seed with the same
 //! splitmix construction as cell seeds from the base seed, so the r-th

@@ -6,8 +6,10 @@
 //! loop every experiment binary used to carry with four composable
 //! pieces:
 //!
-//! * [`Scenario`] — a named bundle of `SimConfig` + sources + faults
-//!   (optionally a tandem topology): everything a run needs but a seed.
+//! * [`Scenario`] — a named bundle of `SimConfig` + sources + faults,
+//!   optionally a multi-hop `Topology` with per-source `Route`s:
+//!   everything a run needs but a seed. Every scenario runs through the
+//!   one topology-first engine (`fpk_sim::run_network`).
 //! * [`Sweep`] + [`Axis`] — expand parameter axes into a cartesian grid
 //!   of cells, each with a deterministic seed derived splitmix-style
 //!   from `(base_seed, cell_index)`.
@@ -63,5 +65,5 @@ pub use exec::{
     run_cells, run_indexed, run_sweep, run_sweep_on, thread_count, AxisReport, CellReport,
     SweepReport,
 };
-pub use scenario::{Scenario, TandemScenario};
+pub use scenario::Scenario;
 pub use sweep::{derive_seed, Axis, Cell, Sweep};

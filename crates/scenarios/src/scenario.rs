@@ -1,28 +1,23 @@
 //! A [`Scenario`] is a named, self-contained description of one DES
 //! experiment: simulator configuration, traffic sources, fault
-//! injection, and (optionally) a tandem multi-hop topology instead of
-//! the single bottleneck.
+//! injection, and (optionally) a multi-hop [`Topology`] with per-source
+//! [`Route`]s instead of the single bottleneck.
 //!
 //! Scenarios are the unit the sweep/ensemble machinery replicates: a
 //! scenario plus a seed fully determines a run, and
 //! [`Scenario::run_seeded`] reduces the run to the
-//! [`RunSummary`](fpk_sim::RunSummary) the aggregation layer consumes.
+//! [`RunSummary`] the aggregation layer consumes.
+//! Every scenario — single-bottleneck or multi-hop — runs through the
+//! one topology-first engine (`fpk_sim::run_network`), so sweeps over
+//! topology axes (hop count, per-hop μ, route span) compose with every
+//! existing axis.
 
-use fpk_numerics::Result;
+use fpk_numerics::{NumericsError, Result};
 use fpk_sim::{
-    run_tandem, run_with_faults, summarize, FaultConfig, RunSummary, SimConfig, SourceSpec,
-    TandemConfig, TandemFlow, TandemResult,
+    run_network, summarize_network, FaultConfig, FlowSpec, NetConfig, Route, RunSummary, SimConfig,
+    SourceSpec, Topology,
 };
 use serde::{Deserialize, Serialize};
-
-/// A multi-hop (tandem) topology bundled with its flows.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct TandemScenario {
-    /// Per-hop configuration (service rates, horizon, seed).
-    pub config: TandemConfig,
-    /// Flows crossing contiguous hop spans.
-    pub flows: Vec<TandemFlow>,
-}
 
 /// A named bundle of everything one simulation run needs except the
 /// seed.
@@ -30,18 +25,28 @@ pub struct TandemScenario {
 pub struct Scenario {
     /// Human-readable name; sweep cells append their coordinates.
     pub name: String,
-    /// Single-bottleneck simulator configuration. The `seed` field is
-    /// overwritten by [`Scenario::run_seeded`].
+    /// Run control (horizon, warm-up, sampling, and — when [`Self::topology`]
+    /// is `None` — the single bottleneck's μ/service/buffer). The `seed`
+    /// field is overwritten by [`Scenario::run_seeded`].
     pub config: SimConfig,
-    /// Traffic sources feeding the bottleneck.
+    /// Traffic sources feeding the network.
     pub sources: Vec<SourceSpec>,
-    /// Fault injection (random loss before the queue).
+    /// Fault injection applied at *every* hop (random loss before each
+    /// queue). Overridden per hop by [`Self::hop_faults`] when set.
     pub faults: FaultConfig,
-    /// When set, the run uses the tandem engine instead of the single
-    /// bottleneck; `config`/`sources`/`faults` are ignored.
-    pub tandem: Option<TandemScenario>,
+    /// When set, the run uses this multi-hop topology; `config`'s
+    /// μ/service/buffer fields are ignored in favour of the per-link
+    /// values.
+    pub topology: Option<Topology>,
+    /// Per-source routes, aligned with `sources`. `None` = every flow
+    /// crosses the full topology (for the single bottleneck that is the
+    /// classic one-hop path).
+    pub routes: Option<Vec<Route>>,
+    /// Per-hop fault overrides (one entry per link). `None` = replicate
+    /// [`Self::faults`] at every hop.
+    pub hop_faults: Option<Vec<FaultConfig>>,
     /// Fraction of the queue trace analysed for oscillation in the
-    /// summary (validated by `fpk_sim::metrics::summarize`).
+    /// summary (validated by `fpk_sim::metrics`).
     pub tail_fraction: f64,
 }
 
@@ -55,22 +60,40 @@ impl Scenario {
             config,
             sources,
             faults: FaultConfig::default(),
-            tandem: None,
+            topology: None,
+            routes: None,
+            hop_faults: None,
             tail_fraction: 0.5,
         }
     }
 
-    /// Attach fault injection.
+    /// Attach fault injection (applied at every hop unless
+    /// [`Self::with_hop_faults`] overrides it).
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
         self
     }
 
-    /// Replace the single bottleneck with a tandem topology.
+    /// Replace the single bottleneck with a multi-hop topology.
     #[must_use]
-    pub fn with_tandem(mut self, tandem: TandemScenario) -> Self {
-        self.tandem = Some(tandem);
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Pin each source to a route (aligned with `sources`; without this
+    /// every flow crosses the full topology).
+    #[must_use]
+    pub fn with_routes(mut self, routes: Vec<Route>) -> Self {
+        self.routes = Some(routes);
+        self
+    }
+
+    /// Per-hop fault injection (one [`FaultConfig`] per link).
+    #[must_use]
+    pub fn with_hop_faults(mut self, hop_faults: Vec<FaultConfig>) -> Self {
+        self.hop_faults = Some(hop_faults);
         self
     }
 
@@ -81,54 +104,75 @@ impl Scenario {
         self
     }
 
+    /// The topology this scenario runs on: the explicit one, or the
+    /// 1-link topology `config` describes.
+    #[must_use]
+    pub fn effective_topology(&self) -> Topology {
+        self.topology.clone().unwrap_or_else(|| {
+            Topology::single(self.config.mu, self.config.service, self.config.buffer)
+        })
+    }
+
+    /// Assemble the [`NetConfig`] + [`FlowSpec`] list for a run under
+    /// `seed`.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] when `routes` is set but its
+    /// length disagrees with `sources`.
+    pub fn network(&self, seed: u64) -> Result<(NetConfig, Vec<FlowSpec>)> {
+        let topology = self.effective_topology();
+        let k = topology.len();
+        let faults = self
+            .hop_faults
+            .clone()
+            .unwrap_or_else(|| vec![self.faults; k]);
+        if let Some(routes) = &self.routes {
+            if routes.len() != self.sources.len() {
+                return Err(NumericsError::InvalidParameter {
+                    context: "Scenario: routes must align one-to-one with sources",
+                });
+            }
+        }
+        let flows: Vec<FlowSpec> = self
+            .sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| FlowSpec {
+                source: s.clone(),
+                route: self
+                    .routes
+                    .as_ref()
+                    .map_or_else(|| Route::full(k), |r| r[i]),
+            })
+            .collect();
+        let net = NetConfig {
+            topology,
+            faults,
+            t_end: self.config.t_end,
+            warmup: self.config.warmup,
+            sample_interval: self.config.sample_interval,
+            seed,
+        };
+        Ok((net, flows))
+    }
+
     /// Run the scenario under the given seed and summarise it.
     ///
     /// # Errors
     /// Propagates simulator configuration/validation errors and summary
     /// (fairness/oscillation) errors.
     pub fn run_seeded(&self, seed: u64) -> Result<RunSummary> {
-        if let Some(tandem) = &self.tandem {
-            let mut cfg = tandem.config.clone();
-            cfg.seed = seed;
-            let out = run_tandem(&cfg, &tandem.flows)?;
-            return tandem_summary(&cfg, &out);
-        }
-        let mut cfg = self.config.clone();
-        cfg.seed = seed;
-        let out = run_with_faults(&cfg, &self.sources, &self.faults)?;
-        summarize(&out, self.tail_fraction)
+        let (net, flows) = self.network(seed)?;
+        let out = run_network(&net, &flows)?;
+        summarize_network(&out, self.tail_fraction)
     }
-}
-
-/// Reduce a tandem result to the shared [`RunSummary`] shape: jain over
-/// end-to-end throughputs, hop-averaged queue, utilisation of aggregate
-/// capacity. The tandem engine records no per-flow drop counters or
-/// queue trace, so `total_dropped` is 0 and `queue_oscillation` absent.
-fn tandem_summary(cfg: &TandemConfig, out: &TandemResult) -> Result<RunSummary> {
-    let throughputs: Vec<f64> = out.flows.iter().map(|f| f.throughput).collect();
-    let jain = fpk_congestion::fairness::jain_index(&throughputs)?;
-    let total: f64 = throughputs.iter().sum();
-    let capacity: f64 = cfg.mu.iter().sum();
-    Ok(RunSummary {
-        jain,
-        mean_queue: fpk_numerics::stats::mean(&out.mean_queue),
-        utilization: if capacity > 0.0 {
-            total / capacity
-        } else {
-            0.0
-        },
-        queue_oscillation: None,
-        total_dropped: 0,
-        ctl_std: Vec::new(),
-        throughputs,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use fpk_congestion::{LinearExp, WindowAimd};
-    use fpk_sim::Service;
+    use fpk_sim::{run_with_faults, summarize, Link, Service};
 
     fn base() -> Scenario {
         Scenario::new(
@@ -176,26 +220,111 @@ mod tests {
     }
 
     #[test]
-    fn tandem_scenario_runs_through_the_tandem_engine() {
-        let flow = |first: usize, last: usize| TandemFlow {
+    fn single_bottleneck_summary_matches_legacy_path() {
+        // The fold onto the topology engine must not move any number:
+        // the scenario summary equals run_with_faults + summarize on the
+        // same seed, field for field.
+        let sc = base().with_faults(FaultConfig { loss_prob: 0.02 });
+        let via_scenario = sc.run_seeded(11).unwrap();
+        let mut cfg = sc.config.clone();
+        cfg.seed = 11;
+        let direct = run_with_faults(&cfg, &sc.sources, &sc.faults).unwrap();
+        let via_legacy = summarize(&direct, sc.tail_fraction).unwrap();
+        assert_eq!(via_scenario.throughputs, via_legacy.throughputs);
+        assert_eq!(
+            via_scenario.mean_queue.to_bits(),
+            via_legacy.mean_queue.to_bits()
+        );
+        assert_eq!(
+            via_scenario.utilization.to_bits(),
+            via_legacy.utilization.to_bits()
+        );
+        assert_eq!(via_scenario.jain.to_bits(), via_legacy.jain.to_bits());
+        assert_eq!(via_scenario.total_dropped, via_legacy.total_dropped);
+        assert_eq!(via_scenario.ctl_std, via_legacy.ctl_std);
+    }
+
+    #[test]
+    fn topology_scenario_runs_multi_hop() {
+        let flow = |_: usize| SourceSpec::Window {
             aimd: WindowAimd::new(1.0, 0.5, 0.04, 10.0),
             w0: 2.0,
-            first_hop: first,
-            last_hop: last,
         };
-        let sc = base().with_tandem(TandemScenario {
-            config: TandemConfig {
-                mu: vec![60.0, 60.0],
-                exponential_service: true,
+        let sc = base()
+            .with_topology(Topology::uniform(
+                2,
+                Link {
+                    mu: 60.0,
+                    service: Service::Exponential,
+                    buffer: None,
+                },
+            ))
+            .with_routes(vec![
+                Route { first: 0, last: 1 },
+                Route::single(0),
+                Route::single(1),
+            ]);
+        let sc = Scenario {
+            sources: vec![flow(0), flow(1), flow(2)],
+            config: SimConfig {
                 t_end: 30.0,
                 warmup: 5.0,
-                seed: 0,
+                ..sc.config
             },
-            flows: vec![flow(0, 1), flow(0, 0), flow(1, 1)],
-        });
+            ..sc
+        };
         let s = sc.run_seeded(3).unwrap();
         assert_eq!(s.throughputs.len(), 3);
         assert!(s.utilization > 0.0 && s.jain > 0.0);
-        assert!(s.queue_oscillation.is_none());
+        // The unified engine records per-hop traces, so multi-hop
+        // scenarios now get control-variability and oscillation data the
+        // legacy tandem path never had.
+        assert_eq!(s.ctl_std.len(), 3);
+    }
+
+    #[test]
+    fn routes_default_to_full_path() {
+        let sc = base().with_topology(Topology::uniform(
+            3,
+            Link {
+                mu: 80.0,
+                service: Service::Exponential,
+                buffer: None,
+            },
+        ));
+        let (net, flows) = sc.network(1).unwrap();
+        assert_eq!(net.topology.len(), 3);
+        assert_eq!(flows[0].route, Route { first: 0, last: 2 });
+    }
+
+    #[test]
+    fn faults_replicate_across_hops_unless_overridden() {
+        let sc = base()
+            .with_topology(Topology::uniform(
+                2,
+                Link {
+                    mu: 80.0,
+                    service: Service::Exponential,
+                    buffer: None,
+                },
+            ))
+            .with_faults(FaultConfig { loss_prob: 0.1 });
+        let (net, _) = sc.network(1).unwrap();
+        assert_eq!(net.faults.len(), 2);
+        assert!(net.faults.iter().all(|f| f.loss_prob == 0.1));
+
+        let sc = sc.with_hop_faults(vec![
+            FaultConfig { loss_prob: 0.0 },
+            FaultConfig { loss_prob: 0.2 },
+        ]);
+        let (net, _) = sc.network(1).unwrap();
+        assert_eq!(net.faults[0].loss_prob, 0.0);
+        assert_eq!(net.faults[1].loss_prob, 0.2);
+    }
+
+    #[test]
+    fn misaligned_routes_rejected() {
+        let sc = base().with_routes(vec![Route::single(0), Route::single(0)]);
+        assert!(sc.run_seeded(1).is_err());
     }
 }

@@ -58,10 +58,78 @@ impl Axis {
         Self::new(name, values, |_, _| {})
     }
 
-    /// Sweep the bottleneck service rate μ.
+    /// Sweep the bottleneck service rate μ (on a topology scenario,
+    /// every link's μ).
     #[must_use]
     pub fn mu(values: Vec<f64>) -> Self {
-        Self::new("mu", values, |sc, v| sc.config.mu = v)
+        Self::new("mu", values, |sc, v| {
+            sc.config.mu = v;
+            if let Some(topology) = &mut sc.topology {
+                for link in &mut topology.links {
+                    link.mu = v;
+                }
+            }
+        })
+    }
+
+    /// Sweep the μ of one specific hop of a topology scenario (the index
+    /// is clamped to the last link; single-bottleneck scenarios treat
+    /// hop 0 as `config.mu`).
+    #[must_use]
+    pub fn hop_mu(hop: usize, values: Vec<f64>) -> Self {
+        Self::new(format!("mu{hop}"), values, move |sc, v| {
+            if let Some(topology) = &mut sc.topology {
+                let last = topology.len().saturating_sub(1);
+                topology.links[hop.min(last)].mu = v;
+            } else {
+                sc.config.mu = v;
+            }
+        })
+    }
+
+    /// Sweep the hop count: resize the topology to round(v) copies of
+    /// its first link (or of the single bottleneck `config` describes).
+    /// The default all-hops routing (`routes: None`) adapts by itself.
+    /// Explicit routes that spanned the whole previous *multi-hop*
+    /// topology stretch to span the new one; all other explicit routes
+    /// (including every route on a 1-link base, where "full span" and
+    /// "pinned to hop 0" are indistinguishable) stay put, clamped into
+    /// range. Explicit per-hop faults are resized too: surviving hops
+    /// keep their entries, new hops get the scenario's default
+    /// `faults`.
+    #[must_use]
+    pub fn hop_count(values: Vec<f64>) -> Self {
+        Self::new("hops", values, |sc, v| {
+            let k = (v.round().max(1.0)) as usize;
+            let old = sc.effective_topology();
+            let old_k = old.len();
+            sc.topology = Some(fpk_sim::Topology::uniform(k, old.links[0]));
+            if let Some(routes) = &mut sc.routes {
+                for r in routes {
+                    if old_k > 1 && r.first == 0 && r.last == old_k - 1 {
+                        *r = fpk_sim::Route::full(k);
+                    } else {
+                        r.first = r.first.min(k - 1);
+                        r.last = r.last.min(k - 1);
+                    }
+                }
+            }
+            let default_faults = sc.faults;
+            if let Some(hop_faults) = &mut sc.hop_faults {
+                hop_faults.resize(k, default_faults);
+            }
+        })
+    }
+
+    /// Sweep the route span: every flow crosses hops `0..round(v)`
+    /// (clamped to the topology).
+    #[must_use]
+    pub fn route_span(values: Vec<f64>) -> Self {
+        Self::new("span", values, |sc, v| {
+            let k = sc.effective_topology().len();
+            let span = (v.round().max(1.0) as usize).min(k);
+            sc.routes = Some(vec![fpk_sim::Route::full(span); sc.sources.len()]);
+        })
     }
 
     /// Sweep the buffer limit; non-finite values mean "infinite".
@@ -329,6 +397,99 @@ mod tests {
             SourceSpec::Rate { prop_delay, .. } => assert!((prop_delay - 0.05).abs() < 1e-15),
             _ => panic!("unexpected source kind"),
         }
+    }
+
+    #[test]
+    fn topology_axes_apply() {
+        let sweep = Sweep::new(base(), 1)
+            .axis(Axis::hop_count(vec![3.0]))
+            .axis(Axis::hop_mu(1, vec![25.0]))
+            .axis(Axis::route_span(vec![2.0]));
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 1);
+        let sc = &cells[0].scenario;
+        let topology = sc.topology.as_ref().expect("hop_count builds a topology");
+        assert_eq!(topology.len(), 3);
+        // The replicated link inherits the single-bottleneck parameters.
+        assert_eq!(topology.links[0].mu, 50.0);
+        assert_eq!(topology.links[1].mu, 25.0);
+        assert_eq!(
+            sc.routes.as_ref().unwrap()[0],
+            fpk_sim::Route { first: 0, last: 1 }
+        );
+        assert_eq!(sc.name, "grid[hops=3,mu1=25,span=2]");
+    }
+
+    #[test]
+    fn hop_count_stretches_full_span_routes() {
+        let mut base = base();
+        base.sources.push(base.sources[0].clone());
+        let base = base
+            .with_topology(fpk_sim::Topology::uniform(
+                2,
+                fpk_sim::Link {
+                    mu: 40.0,
+                    service: Service::Exponential,
+                    buffer: None,
+                },
+            ))
+            .with_routes(vec![
+                fpk_sim::Route { first: 0, last: 1 }, // spans all of the old 2 hops
+                fpk_sim::Route::single(1),
+            ]);
+        let cells = Sweep::new(base, 9).axis(Axis::hop_count(vec![4.0])).cells();
+        let routes = cells[0].scenario.routes.as_ref().unwrap();
+        assert_eq!(routes[0], fpk_sim::Route { first: 0, last: 3 }, "stretched");
+        assert_eq!(routes[1], fpk_sim::Route::single(1), "clamped in place");
+    }
+
+    #[test]
+    fn hop_count_resizes_hop_faults_with_the_topology() {
+        // A parking-lot scenario with per-hop faults swept over hop
+        // count must stay runnable: surviving hops keep their fault
+        // entries, new hops inherit the scenario default.
+        let base = base()
+            .with_topology(fpk_sim::Topology::uniform(
+                3,
+                fpk_sim::Link {
+                    mu: 60.0,
+                    service: Service::Exponential,
+                    buffer: None,
+                },
+            ))
+            .with_faults(fpk_sim::FaultConfig { loss_prob: 0.01 })
+            .with_hop_faults(vec![
+                fpk_sim::FaultConfig { loss_prob: 0.0 },
+                fpk_sim::FaultConfig { loss_prob: 0.2 },
+                fpk_sim::FaultConfig { loss_prob: 0.0 },
+            ]);
+        for (k, expect) in [(2.0, vec![0.0, 0.2]), (4.0, vec![0.0, 0.2, 0.0, 0.01])] {
+            let cells = Sweep::new(base.clone(), 5)
+                .axis(Axis::hop_count(vec![k]))
+                .cells();
+            let sc = &cells[0].scenario;
+            let probs: Vec<f64> = sc
+                .hop_faults
+                .as_ref()
+                .unwrap()
+                .iter()
+                .map(|f| f.loss_prob)
+                .collect();
+            assert_eq!(probs, expect, "k = {k}");
+            // And the cell actually runs through the engine.
+            assert!(sc.run_seeded(1).is_ok(), "k = {k} must validate");
+        }
+    }
+
+    #[test]
+    fn hop_count_keeps_pinned_routes_on_single_link_base() {
+        // On a 1-link base "full span" and "pinned to hop 0" are the
+        // same route; an explicit pin must survive the sweep rather
+        // than silently becoming a long flow.
+        let base = base().with_routes(vec![fpk_sim::Route::single(0)]);
+        let cells = Sweep::new(base, 3).axis(Axis::hop_count(vec![4.0])).cells();
+        let routes = cells[0].scenario.routes.as_ref().unwrap();
+        assert_eq!(routes[0], fpk_sim::Route::single(0), "pin preserved");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The discrete-event simulation engine: a single bottleneck FIFO queue
+//! The classic single-bottleneck view of the simulator: one FIFO queue
 //! fed by adaptive sources.
 //!
 //! Packet timeline for a flow with one-way propagation delay `p`:
@@ -12,15 +12,17 @@
 //! propagation delay later, and the JRJ law is integrated over the
 //! interval (`source::rate_update`). Window sources are driven purely by
 //! acks carrying DECbit-style marks (queue above q̂ at packet arrival).
+//!
+//! Since the topology-first redesign the event loop itself lives in
+//! [`crate::network`]; [`run`] / [`run_with_faults`] are thin shims that
+//! build a 1-link [`Topology`] and reproduce
+//! the historical behaviour **bit-identically** (same seed → same
+//! traces and counters, pinned by `tests/engine_equivalence.rs`).
 
-use crate::event::{EventKind, EventQueue};
-use crate::source::{rate_update, window_on_ack, SourceSpec, SourceState};
-use fpk_congestion::decbit::QueueAverager;
+use crate::network::{run_network, FlowSpec, NetConfig, Route, Topology};
+use crate::source::SourceSpec;
 use fpk_numerics::{NumericsError, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Bottleneck service-time distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -118,12 +120,13 @@ pub fn run(config: &SimConfig, sources: &[SourceSpec]) -> Result<SimResult> {
     run_with_faults(config, sources, &FaultConfig::default())
 }
 
-/// Run the simulation with fault injection.
+/// Run the simulation with fault injection. A shim over
+/// [`run_network`] on the 1-link topology `config` describes;
+/// bit-identical to the historical dedicated engine.
 ///
 /// # Errors
 /// Configuration validation errors; rejects an empty source list and
 /// `loss_prob` outside [0, 1).
-#[allow(clippy::too_many_lines)]
 pub fn run_with_faults(
     config: &SimConfig,
     sources: &[SourceSpec],
@@ -140,379 +143,39 @@ pub fn run_with_faults(
             context: "run: need at least one source",
         });
     }
-    let n = sources.len();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut ev = EventQueue::new();
-    let mut states: Vec<SourceState> = sources.iter().map(SourceSpec::initial_state).collect();
-    let mut flows = vec![FlowStats::default(); n];
-
-    // FIFO of (flow, marked) for packets in the system (head in service).
-    let mut fifo: VecDeque<(usize, bool)> = VecDeque::new();
-    let mut q_len: u64 = 0;
-    let mut server_busy = false;
-
-    // Time-weighted queue accumulation after warm-up.
-    let mut area = 0.0f64;
-    let mut last_change = config.warmup;
-
-    // Bootstrap events.
-    for (i, spec) in sources.iter().enumerate() {
-        match spec {
-            SourceSpec::Rate {
-                update_interval, ..
-            } => {
-                ev.push(0.0, EventKind::SendPacket { flow: i });
-                ev.push(*update_interval, EventKind::Observe { flow: i });
-            }
-            SourceSpec::OnOff { mean_on, .. } => {
-                ev.push(0.0, EventKind::SendPacket { flow: i });
-                if let SourceState::OnOff { chain_alive, .. } = &mut states[i] {
-                    *chain_alive = true;
-                }
-                // First ON sojourn; the toggle chain is self-rescheduling.
-                let _ = mean_on;
-                ev.push(0.0, EventKind::Toggle { flow: i });
-            }
-            SourceSpec::Window { w0, .. } | SourceSpec::Decbit { w0, .. } => {
-                // Initial burst of ⌊w0⌋ packets, spaced a hair apart so
-                // FIFO order is well-defined.
-                let burst = w0.max(1.0).floor() as u64;
-                match &mut states[i] {
-                    SourceState::Window { in_flight, .. }
-                    | SourceState::Decbit { in_flight, .. } => *in_flight = burst,
-                    SourceState::Rate { .. } | SourceState::OnOff { .. } => unreachable!(),
-                }
-                for k in 0..burst {
-                    ev.push(
-                        k as f64 * 1e-6 + spec.prop_delay(),
-                        EventKind::Arrival { flow: i },
-                    );
-                }
-                // The burst leaves the source at t = 0: count it only
-                // when the warm-up window is empty, like every other
-                // counter (`sent` elsewhere is gated on t >= warmup).
-                if config.warmup <= 0.0 {
-                    flows[i].sent += burst;
-                }
-            }
-        }
-    }
-    ev.push(0.0, EventKind::Sample);
-    // Sample schedule: t_k = k·sample_interval for every k with
-    // k·Δ ≤ t_end. Each time is computed as a fresh multiple — the old
-    // `t += Δ` rescheduling accumulated floating-point drift, so long
-    // traces could gain or lose a sample at the horizon.
-    // Relative + absolute tolerance: the quotient's rounding error is
-    // relative (~1e-16·k), so an absolute fudge alone would lose the
-    // final sample again once k ≳ 1e8.
-    let sample_quotient = config.t_end / config.sample_interval;
-    let last_sample_index = (sample_quotient * (1.0 + 1e-12) + 1e-9).floor() as u64;
-    let mut next_sample_index: u64 = 0;
-    // Router-side averaged queue for DECbit marking.
-    let mut averager = QueueAverager::new(0.0);
-    let any_decbit = sources
-        .iter()
-        .any(|s| matches!(s, SourceSpec::Decbit { .. }));
-
-    let service_time = |rng: &mut StdRng, cfg: &SimConfig| -> f64 {
-        match cfg.service {
-            Service::Deterministic => 1.0 / cfg.mu,
-            Service::Exponential => {
-                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                -u.ln() / cfg.mu
-            }
-        }
+    let net = NetConfig {
+        topology: Topology::single(config.mu, config.service, config.buffer),
+        faults: vec![*faults],
+        t_end: config.t_end,
+        warmup: config.warmup,
+        sample_interval: config.sample_interval,
+        seed: config.seed,
     };
-
-    let mut trace_t = Vec::new();
-    let mut trace_q = Vec::new();
-    let mut trace_ctl: Vec<Vec<f64>> = Vec::new();
-
-    while let Some(event) = ev.pop() {
-        let t = event.t;
-        if t > config.t_end {
-            break;
-        }
-        match event.kind {
-            EventKind::SendPacket { flow } => match (&sources[flow], &mut states[flow]) {
-                (
-                    SourceSpec::Rate {
-                        prop_delay,
-                        poisson,
-                        ..
-                    },
-                    SourceState::Rate { lambda },
-                ) => {
-                    let lam = lambda.max(1e-9);
-                    if t >= config.warmup {
-                        flows[flow].sent += 1;
-                    }
-                    ev.push(t + prop_delay, EventKind::Arrival { flow });
-                    let gap = if *poisson {
-                        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                        -u.ln() / lam
-                    } else {
-                        1.0 / lam
-                    };
-                    ev.push(t + gap, EventKind::SendPacket { flow });
-                }
-                (
-                    SourceSpec::OnOff {
-                        peak_rate,
-                        prop_delay,
-                        ..
-                    },
-                    SourceState::OnOff { on, chain_alive },
-                ) => {
-                    if !*on {
-                        // Chain dies during the OFF phase; the next
-                        // toggle-to-ON starts a fresh one.
-                        *chain_alive = false;
-                        continue;
-                    }
-                    if t >= config.warmup {
-                        flows[flow].sent += 1;
-                    }
-                    ev.push(t + prop_delay, EventKind::Arrival { flow });
-                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                    ev.push(
-                        t - u.ln() / peak_rate.max(1e-9),
-                        EventKind::SendPacket { flow },
-                    );
-                }
-                _ => unreachable!("SendPacket for a window flow"),
-            },
-            EventKind::Toggle { flow } => {
-                let SourceSpec::OnOff {
-                    mean_on, mean_off, ..
-                } = &sources[flow]
-                else {
-                    unreachable!("Toggle for non-on-off flow")
-                };
-                let SourceState::OnOff { on, chain_alive } = &mut states[flow] else {
-                    unreachable!()
-                };
-                // Exponential sojourn in the phase we are *entering*; the
-                // bootstrap toggle at t = 0 enters the ON phase.
-                let entering_on = !*on || t == 0.0;
-                let sojourn_mean = if entering_on { *mean_on } else { *mean_off };
-                if t > 0.0 {
-                    *on = !*on;
-                }
-                if *on && !*chain_alive {
-                    *chain_alive = true;
-                    // First send a full exponential gap after the phase
-                    // starts — emitting at the toggle instant itself
-                    // would add one packet per ON period and bias the
-                    // mean rate upward.
-                    let SourceSpec::OnOff { peak_rate, .. } = &sources[flow] else {
-                        unreachable!()
-                    };
-                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                    ev.push(
-                        t - u.ln() / peak_rate.max(1e-9),
-                        EventKind::SendPacket { flow },
-                    );
-                }
-                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                ev.push(
-                    t - u.ln() * sojourn_mean.max(1e-9),
-                    EventKind::Toggle { flow },
-                );
-            }
-            EventKind::Arrival { flow } => {
-                // Random link loss (fault injection).
-                if faults.loss_prob > 0.0 && rng.gen::<f64>() < faults.loss_prob {
-                    if t >= config.warmup {
-                        flows[flow].dropped += 1;
-                    }
-                    if matches!(
-                        sources[flow],
-                        SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
-                    ) {
-                        ev.push(
-                            t + sources[flow].prop_delay(),
-                            EventKind::Ack { flow, marked: true },
-                        );
-                    }
-                    continue;
-                }
-                if let Some(cap) = config.buffer {
-                    if q_len >= cap {
-                        if t >= config.warmup {
-                            flows[flow].dropped += 1;
-                        }
-                        // A dropped packet of a window flow still frees
-                        // its in-flight slot (we model drop-as-mark: the
-                        // "ack" returns marked so the source reacts).
-                        if matches!(
-                            sources[flow],
-                            SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
-                        ) {
-                            ev.push(
-                                t + sources[flow].prop_delay(),
-                                EventKind::Ack { flow, marked: true },
-                            );
-                        }
-                        continue;
-                    }
-                }
-                // Mark policy: instantaneous queue for Rate/Window flows,
-                // regeneration-cycle averaged queue for DECbit flows.
-                let marked = if matches!(sources[flow], SourceSpec::Decbit { .. }) {
-                    averager.congestion_bit(t, sources[flow].q_hat())
-                } else {
-                    q_len as f64 > sources[flow].q_hat()
-                };
-                if t >= config.warmup {
-                    area += q_len as f64 * (t - last_change);
-                    last_change = t;
-                } else {
-                    last_change = t.max(config.warmup);
-                }
-                fifo.push_back((flow, marked));
-                q_len += 1;
-                if any_decbit {
-                    averager.observe(t, q_len as f64);
-                }
-                if !server_busy {
-                    server_busy = true;
-                    ev.push(t + service_time(&mut rng, config), EventKind::Departure);
-                }
-            }
-            EventKind::Departure => {
-                let (flow, marked) = fifo.pop_front().expect("departure from empty queue");
-                if t >= config.warmup {
-                    area += q_len as f64 * (t - last_change);
-                    last_change = t;
-                    flows[flow].delivered += 1;
-                } else {
-                    last_change = t.max(config.warmup);
-                }
-                q_len -= 1;
-                if any_decbit {
-                    averager.observe(t, q_len as f64);
-                }
-                if matches!(
-                    sources[flow],
-                    SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
-                ) {
-                    ev.push(
-                        t + sources[flow].prop_delay(),
-                        EventKind::Ack { flow, marked },
-                    );
-                }
-                if q_len > 0 {
-                    ev.push(t + service_time(&mut rng, config), EventKind::Departure);
-                } else {
-                    server_busy = false;
-                }
-            }
-            EventKind::Observe { flow } => {
-                let SourceSpec::Rate {
-                    update_interval,
-                    prop_delay,
-                    ..
-                } = &sources[flow]
-                else {
-                    unreachable!("Observe for non-rate flow");
-                };
-                ev.push(
-                    t + prop_delay,
-                    EventKind::Feedback {
-                        flow,
-                        observed_queue: q_len,
-                    },
-                );
-                ev.push(t + update_interval, EventKind::Observe { flow });
-            }
-            EventKind::Feedback {
-                flow,
-                observed_queue,
-            } => {
-                let SourceSpec::Rate {
-                    law,
-                    update_interval,
-                    ..
-                } = &sources[flow]
-                else {
-                    unreachable!()
-                };
-                let SourceState::Rate { lambda } = &mut states[flow] else {
-                    unreachable!()
-                };
-                *lambda = rate_update(law, *lambda, observed_queue as f64, *update_interval);
-            }
-            EventKind::Ack { flow, marked } => {
-                let (allowed, in_flight_ref) = match (&sources[flow], &mut states[flow]) {
-                    (SourceSpec::Window { aimd, .. }, state) => {
-                        window_on_ack(aimd, state, marked);
-                        let SourceState::Window {
-                            window, in_flight, ..
-                        } = state
-                        else {
-                            unreachable!()
-                        };
-                        (window.floor().max(1.0) as u64, in_flight)
-                    }
-                    (SourceSpec::Decbit { .. }, SourceState::Decbit { ctl, in_flight }) => {
-                        *in_flight = in_flight.saturating_sub(1);
-                        let _ = ctl.on_ack(marked);
-                        (ctl.window().floor().max(1.0) as u64, in_flight)
-                    }
-                    _ => unreachable!("Ack for a rate flow"),
-                };
-                let mut to_send = allowed.saturating_sub(*in_flight_ref);
-                while to_send > 0 {
-                    *in_flight_ref += 1;
-                    if t >= config.warmup {
-                        flows[flow].sent += 1;
-                    }
-                    ev.push(t + sources[flow].prop_delay(), EventKind::Arrival { flow });
-                    to_send -= 1;
-                }
-            }
-            EventKind::Sample => {
-                trace_t.push(t);
-                trace_q.push(q_len as f64);
-                trace_ctl.push(
-                    states
-                        .iter()
-                        .map(|s| match s {
-                            SourceState::Rate { lambda } => *lambda,
-                            SourceState::Window { window, .. } => *window,
-                            SourceState::Decbit { ctl, .. } => ctl.window(),
-                            SourceState::OnOff { on, .. } => f64::from(u8::from(*on)),
-                        })
-                        .collect(),
-                );
-                next_sample_index += 1;
-                if next_sample_index <= last_sample_index {
-                    // The multiple can round a hair past t_end; clamp so
-                    // the final sample still lands inside the horizon.
-                    let tk = (next_sample_index as f64 * config.sample_interval).min(config.t_end);
-                    ev.push(tk, EventKind::Sample);
-                }
-            }
-        }
-    }
-
-    // Close the queue-area integral at t_end.
-    if config.t_end > last_change {
-        area += q_len as f64 * (config.t_end - last_change);
-    }
-    let window = config.t_end - config.warmup;
-    for f in &mut flows {
-        f.throughput = f.delivered as f64 / window;
-    }
-    let total_throughput: f64 = flows.iter().map(|f| f.throughput).sum();
+    let flows: Vec<FlowSpec> = sources
+        .iter()
+        .map(|s| FlowSpec {
+            source: s.clone(),
+            route: Route::single(0),
+        })
+        .collect();
+    let out = run_network(&net, &flows)?;
+    let flows: Vec<FlowStats> = out
+        .flows
+        .iter()
+        .map(|f| FlowStats {
+            sent: f.sent,
+            delivered: f.delivered,
+            dropped: f.dropped,
+            throughput: f.throughput,
+        })
+        .collect();
     Ok(SimResult {
-        trace_t,
-        trace_q,
-        trace_ctl,
-        mean_queue: area / window,
-        total_throughput,
-        utilization: total_throughput / config.mu,
+        trace_t: out.trace_t,
+        trace_q: out.trace_q.into_iter().next().expect("one link"),
+        trace_ctl: out.trace_ctl,
+        mean_queue: out.mean_queue[0],
+        total_throughput: out.total_throughput,
+        utilization: out.total_throughput / config.mu,
         flows,
     })
 }

@@ -13,13 +13,21 @@ use std::collections::BinaryHeap;
 /// What happens when an event fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
-    /// A packet from `flow` reaches the bottleneck queue.
+    /// A packet from `flow` reaches the queue of link `hop`.
     Arrival {
         /// Index of the sending flow.
         flow: usize,
+        /// Index of the link whose queue the packet joins.
+        hop: usize,
+        /// Congestion marks accumulated at the hops already crossed
+        /// (`false` for a packet fresh from its source).
+        marked: bool,
     },
-    /// The packet at the head of the queue finishes service.
-    Departure,
+    /// The packet at the head of link `hop`'s queue finishes service.
+    Departure {
+        /// Index of the link whose head-of-line packet departs.
+        hop: usize,
+    },
     /// `flow` should emit its next packet (self-rescheduling).
     SendPacket {
         /// Index of the sending flow.
@@ -138,9 +146,16 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(3.0, EventKind::Departure);
+        q.push(3.0, EventKind::Departure { hop: 0 });
         q.push(1.0, EventKind::Sample);
-        q.push(2.0, EventKind::Arrival { flow: 0 });
+        q.push(
+            2.0,
+            EventKind::Arrival {
+                flow: 0,
+                hop: 0,
+                marked: false,
+            },
+        );
         let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.t)).collect();
         assert_eq!(times, vec![1.0, 2.0, 3.0]);
     }
@@ -149,11 +164,18 @@ mod tests {
     fn equal_times_fifo() {
         let mut q = EventQueue::new();
         for flow in 0..5 {
-            q.push(1.0, EventKind::Arrival { flow });
+            q.push(
+                1.0,
+                EventKind::Arrival {
+                    flow,
+                    hop: 0,
+                    marked: false,
+                },
+            );
         }
         let flows: Vec<usize> = std::iter::from_fn(|| {
             q.pop().map(|e| match e.kind {
-                EventKind::Arrival { flow } => flow,
+                EventKind::Arrival { flow, .. } => flow,
                 _ => unreachable!(),
             })
         })

@@ -11,12 +11,17 @@
 //! * [`event`] — deterministic event queue (time + FIFO tie-break).
 //! * [`source`] — rate-based sources (Eq. 2 integrated over feedback
 //!   epochs) and window-based AIMD sources (Eq. 1, DECbit marks).
-//! * [`engine`] — the simulation loop: FIFO bottleneck, propagation
-//!   delays, drops, acknowledgements, tracing.
+//! * [`network`] — **the** simulation loop, topology-first: an ordered
+//!   chain of links ([`Topology`]) crossed by flows on contiguous
+//!   routes ([`FlowSpec`]), with per-hop service/buffers/faults/traces
+//!   and DECbit marking at any congested hop.
+//! * [`engine`] — the classic single-bottleneck API, now a 1-link shim
+//!   over [`network`] (bit-identical to the historical engine).
+//! * [`tandem`] — the legacy K-queue window-flows API, also a shim.
 //! * [`metrics`] — fairness/oscillation summaries and theory comparisons.
 //!
-//! Every run is reproducible from its seed; experiments in
-//! `EXPERIMENTS.md` quote the seeds they used.
+//! Every run is reproducible from its seed; `EXPERIMENTS.md` (workspace
+//! root) records the seeds each experiment binary uses.
 //!
 //! # Example
 //!
@@ -47,10 +52,14 @@
 pub mod engine;
 pub mod event;
 pub mod metrics;
+pub mod network;
 pub mod source;
 pub mod tandem;
 
 pub use engine::{run, run_with_faults, FaultConfig, FlowStats, Service, SimConfig, SimResult};
-pub use metrics::{summarize, RunSummary};
+pub use metrics::{summarize, summarize_network, RunSummary};
+pub use network::{
+    run_network, FlowSpec, Link, NetConfig, NetFlowStats, NetResult, Route, Topology,
+};
 pub use source::SourceSpec;
-pub use tandem::{run_tandem, TandemConfig, TandemFlow, TandemResult};
+pub use tandem::{run_tandem, TandemConfig, TandemFlow, TandemFlowStats, TandemResult};

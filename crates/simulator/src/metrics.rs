@@ -3,6 +3,7 @@
 //! predictions.
 
 use crate::engine::SimResult;
+use crate::network::NetResult;
 use fpk_numerics::signal::{analyze_oscillation, Oscillation};
 use fpk_numerics::{NumericsError, Result};
 use serde::{Deserialize, Serialize};
@@ -37,36 +38,80 @@ pub struct RunSummary {
 /// three samples or `tail_fraction` is NaN or outside `(0, 1]`;
 /// propagates fairness-metric errors.
 pub fn summarize(result: &SimResult, tail_fraction: f64) -> Result<RunSummary> {
-    // Validate here rather than letting the value fall through to
-    // `analyze_oscillation`: a NaN or out-of-range fraction is a caller
-    // bug and must be reported against *this* API's contract.
+    validate_tail(tail_fraction, result.trace_t.len())?;
+    let throughputs: Vec<f64> = result.flows.iter().map(|f| f.throughput).collect();
+    let jain = fpk_congestion::fairness::jain_index(&throughputs)?;
+    let queue_oscillation = analyze_oscillation(&result.trace_t, &result.trace_q, tail_fraction)?;
+    let ctl_std = tail_ctl_std(&result.trace_ctl, result.flows.len(), tail_fraction);
+    Ok(RunSummary {
+        jain,
+        mean_queue: result.mean_queue,
+        utilization: result.utilization,
+        queue_oscillation,
+        total_dropped: result.flows.iter().map(|f| f.dropped).sum(),
+        ctl_std,
+        throughputs,
+    })
+}
+
+/// Shared contract checks of the two summary entry points. Validated
+/// here rather than letting the values fall through to
+/// `analyze_oscillation`: a NaN or out-of-range fraction is a caller bug
+/// and must be reported against the summary API's contract.
+fn validate_tail(tail_fraction: f64, trace_len: usize) -> Result<()> {
     if tail_fraction.is_nan() || !(0.0..=1.0).contains(&tail_fraction) || tail_fraction == 0.0 {
         return Err(NumericsError::InvalidParameter {
             context: "summarize: tail_fraction must lie in (0, 1]",
         });
     }
-    if result.trace_t.len() < 3 {
+    if trace_len < 3 {
         return Err(NumericsError::InvalidParameter {
             context: "summarize: trace too short",
         });
     }
-    let throughputs: Vec<f64> = result.flows.iter().map(|f| f.throughput).collect();
-    let jain = fpk_congestion::fairness::jain_index(&throughputs)?;
-    let queue_oscillation = analyze_oscillation(&result.trace_t, &result.trace_q, tail_fraction)?;
-    // Same tail window as the oscillation analysis, including its
-    // keep-at-least-3-samples clamp.
-    let start = ((1.0 - tail_fraction) * result.trace_ctl.len() as f64) as usize;
-    let tail = &result.trace_ctl[start.min(result.trace_ctl.len().saturating_sub(3))..];
-    let ctl_std = (0..result.flows.len())
+    Ok(())
+}
+
+/// Per-flow control-signal standard deviation over the trace tail —
+/// the same tail window as the oscillation analysis, including its
+/// keep-at-least-3-samples clamp.
+fn tail_ctl_std(trace_ctl: &[Vec<f64>], n_flows: usize, tail_fraction: f64) -> Vec<f64> {
+    let start = ((1.0 - tail_fraction) * trace_ctl.len() as f64) as usize;
+    let tail = &trace_ctl[start.min(trace_ctl.len().saturating_sub(3))..];
+    (0..n_flows)
         .map(|i| {
             let xs: Vec<f64> = tail.iter().map(|c| c[i]).collect();
             fpk_numerics::stats::variance(&xs).sqrt()
         })
-        .collect();
+        .collect()
+}
+
+/// Summarise a network (multi-hop) result into the same [`RunSummary`]
+/// shape: Jain index over end-to-end throughputs, hop-averaged mean
+/// queue, utilisation of aggregate capacity, and oscillation analysis of
+/// the *bottleneck* hop's trace (largest time-averaged queue, ties to
+/// the lowest index).
+///
+/// For a 1-link topology this agrees bit-for-bit with
+/// [`summarize`] of the corresponding single-bottleneck run, so
+/// scenarios that moved onto the topology API keep their numbers.
+///
+/// # Errors
+/// Same contract as [`summarize`]: rejects a trace shorter than three
+/// samples or `tail_fraction` NaN / outside `(0, 1]`; propagates
+/// fairness-metric errors.
+pub fn summarize_network(result: &NetResult, tail_fraction: f64) -> Result<RunSummary> {
+    validate_tail(tail_fraction, result.trace_t.len())?;
+    let throughputs: Vec<f64> = result.flows.iter().map(|f| f.throughput).collect();
+    let jain = fpk_congestion::fairness::jain_index(&throughputs)?;
+    let bottleneck = result.bottleneck_hop();
+    let queue_oscillation =
+        analyze_oscillation(&result.trace_t, &result.trace_q[bottleneck], tail_fraction)?;
+    let ctl_std = tail_ctl_std(&result.trace_ctl, result.flows.len(), tail_fraction);
     Ok(RunSummary {
         jain,
-        mean_queue: result.mean_queue,
-        utilization: result.utilization,
+        mean_queue: fpk_numerics::stats::mean(&result.mean_queue),
+        utilization: result.total_throughput / result.capacity,
         queue_oscillation,
         total_dropped: result.flows.iter().map(|f| f.dropped).sum(),
         ctl_std,

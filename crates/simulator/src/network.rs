@@ -1,0 +1,973 @@
+//! The topology-general discrete-event engine: an ordered chain of FIFO
+//! links crossed by flows on contiguous routes.
+//!
+//! This is the one event loop behind every public entry point of the
+//! crate. [`run_network`] subsumes both the single-bottleneck engine
+//! (`engine::run_with_faults` is a 1-link shim) and the legacy tandem
+//! simulator (`tandem::run_tandem` is a K-link window-flows shim), so
+//! parking-lot topologies, per-hop heterogeneous service, per-hop fault
+//! injection, DECbit marking at any congested hop, and mixed rate/window
+//! multi-hop flows are all expressible through a single API.
+//!
+//! Packet timeline for a flow routed over hops `first..=last` with
+//! per-hop one-way delay `d` (= [`SourceSpec::prop_delay`]):
+//!
+//! ```text
+//! send at t ──d──▶ hop first ──d──▶ hop first+1 … hop last ──(hops·d)──▶ ack
+//! ```
+//!
+//! Congestion marks OR together along the route: a packet that saw *any*
+//! congested hop returns a marked ack, so a long flow's mark probability
+//! compounds with hop count — the hop-count-unfairness mechanism of
+//! Zhang [Zha 89] and Jacobson [Jac 88] the paper's introduction cites.
+//! Rate sources observe the most congested queue on their route (the
+//! path bottleneck), one path delay stale.
+
+use crate::engine::{FaultConfig, Service};
+use crate::event::{EventKind, EventQueue};
+use crate::source::{rate_update, window_on_ack, SourceSpec, SourceState};
+use fpk_congestion::decbit::QueueAverager;
+use fpk_numerics::{NumericsError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One link of a topology: a FIFO queue with its own service process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Service rate μ (packets/s).
+    pub mu: f64,
+    /// Service-time distribution.
+    pub service: Service,
+    /// Optional buffer limit (packets in system); `None` = infinite.
+    pub buffer: Option<u64>,
+}
+
+/// An ordered chain of links, indexed `0..len()`. Flows cross contiguous
+/// spans of it ([`Route`]), so a single link is the classic bottleneck,
+/// K equal links a tandem, and per-hop cross traffic a parking lot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// The links in path order.
+    pub links: Vec<Link>,
+}
+
+impl Topology {
+    /// A one-link topology (the classic single bottleneck).
+    #[must_use]
+    pub fn single(mu: f64, service: Service, buffer: Option<u64>) -> Self {
+        Self {
+            links: vec![Link {
+                mu,
+                service,
+                buffer,
+            }],
+        }
+    }
+
+    /// `k` identical links in series.
+    #[must_use]
+    pub fn uniform(k: usize, link: Link) -> Self {
+        Self {
+            links: vec![link; k],
+        }
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the topology has no links (invalid for running).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+/// A contiguous span of hops a flow crosses, inclusive on both ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// First hop index (0-based).
+    pub first: usize,
+    /// Last hop index (inclusive); must be ≥ `first`.
+    pub last: usize,
+}
+
+impl Route {
+    /// A route crossing exactly one hop.
+    #[must_use]
+    pub fn single(hop: usize) -> Self {
+        Self {
+            first: hop,
+            last: hop,
+        }
+    }
+
+    /// The full path of a `k`-link topology (`0..=k-1`).
+    #[must_use]
+    pub fn full(k: usize) -> Self {
+        Self {
+            first: 0,
+            last: k.saturating_sub(1),
+        }
+    }
+
+    /// Number of hops crossed.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.last - self.first + 1
+    }
+}
+
+/// A flow: any [`SourceSpec`] plus the route it crosses. The source's
+/// propagation delay ([`SourceSpec::prop_delay`]) is the *per-hop*
+/// one-way delay, so a window flow's effective round trip grows with its
+/// hop count (`aimd.rtt` = 2 × per-hop delay — the legacy tandem
+/// interpretation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Traffic source driving the flow.
+    pub source: SourceSpec,
+    /// The hops the flow crosses.
+    pub route: Route,
+}
+
+impl FlowSpec {
+    /// A flow crossing the single hop 0 (the 1-link topology case).
+    #[must_use]
+    pub fn single_hop(source: SourceSpec) -> Self {
+        Self {
+            source,
+            route: Route::single(0),
+        }
+    }
+}
+
+/// Network simulation configuration: the topology plus run control.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// The ordered links.
+    pub topology: Topology,
+    /// Per-hop fault injection (random loss on arrival at each hop).
+    /// Empty = lossless everywhere; otherwise one entry per link.
+    pub faults: Vec<FaultConfig>,
+    /// Simulated horizon (seconds).
+    pub t_end: f64,
+    /// Statistics (throughput, mean queues) ignore `[0, warmup)`.
+    pub warmup: f64,
+    /// Queue/control trace sampling period.
+    pub sample_interval: f64,
+    /// RNG seed (the run is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl NetConfig {
+    fn validate(&self, flows: &[FlowSpec]) -> Result<()> {
+        if self.topology.is_empty() {
+            return Err(NumericsError::InvalidParameter {
+                context: "NetConfig: need at least one link",
+            });
+        }
+        if self.topology.links.iter().any(|l| !(l.mu > 0.0)) {
+            return Err(NumericsError::InvalidParameter {
+                context: "NetConfig: link service rates must be positive",
+            });
+        }
+        if !(self.t_end > 0.0 && self.sample_interval > 0.0) {
+            return Err(NumericsError::InvalidParameter {
+                context: "NetConfig: t_end and sample_interval must be positive",
+            });
+        }
+        if !(0.0..self.t_end).contains(&self.warmup) {
+            return Err(NumericsError::InvalidParameter {
+                context: "NetConfig: warmup must lie in [0, t_end)",
+            });
+        }
+        if !self.faults.is_empty() && self.faults.len() != self.topology.len() {
+            return Err(NumericsError::InvalidParameter {
+                context: "NetConfig: faults must be empty or one per link",
+            });
+        }
+        if self
+            .faults
+            .iter()
+            .any(|f| !(0.0..1.0).contains(&f.loss_prob))
+        {
+            return Err(NumericsError::InvalidParameter {
+                context: "NetConfig: loss_prob must lie in [0, 1)",
+            });
+        }
+        if flows.is_empty() {
+            return Err(NumericsError::InvalidParameter {
+                context: "run_network: need at least one flow",
+            });
+        }
+        let k = self.topology.len();
+        if flows
+            .iter()
+            .any(|f| f.route.first > f.route.last || f.route.last >= k)
+        {
+            return Err(NumericsError::InvalidParameter {
+                context: "run_network: flow route out of range",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-flow counters (collected after warm-up) — the unified superset of
+/// the legacy `FlowStats` and `TandemFlowStats`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetFlowStats {
+    /// Packets handed to the network.
+    pub sent: u64,
+    /// Packets that completed service at the flow's last hop.
+    pub delivered: u64,
+    /// Packets dropped (injected loss or a full buffer) at any hop.
+    pub dropped: u64,
+    /// Delivered / measurement window (packets per second).
+    pub throughput: f64,
+    /// Number of hops the flow crosses.
+    pub hops: usize,
+}
+
+/// Result of one network run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetResult {
+    /// Trace sample times.
+    pub trace_t: Vec<f64>,
+    /// Queue length of each hop at each sample: `trace_q[hop][k]`.
+    pub trace_q: Vec<Vec<f64>>,
+    /// Per-flow control state at each sample (λ for rate sources, window
+    /// for window sources): `trace_ctl[k][i]`.
+    pub trace_ctl: Vec<Vec<f64>>,
+    /// Per-flow counters.
+    pub flows: Vec<NetFlowStats>,
+    /// Time-averaged queue length per hop after warm-up.
+    pub mean_queue: Vec<f64>,
+    /// Aggregate delivered (end-to-end) throughput after warm-up
+    /// (packets/s, sum of per-flow throughputs).
+    pub total_throughput: f64,
+    /// Per-hop utilisation: packets served at the hop after warm-up per
+    /// second, divided by the hop's μ.
+    pub utilization: Vec<f64>,
+    /// Aggregate capacity Σ μ over the links (for a 1-link topology this
+    /// is exactly the bottleneck μ).
+    pub capacity: f64,
+}
+
+impl NetResult {
+    /// Index of the most congested hop (largest time-averaged queue,
+    /// ties to the lowest index) — the hop whose trace the metrics layer
+    /// analyses for oscillation.
+    #[must_use]
+    pub fn bottleneck_hop(&self) -> usize {
+        let mut best = 0;
+        for (h, &q) in self.mean_queue.iter().enumerate() {
+            if q > self.mean_queue[best] {
+                best = h;
+            }
+        }
+        best
+    }
+}
+
+/// Run a network simulation: every flow crosses its route through the
+/// shared deterministic [`EventQueue`].
+///
+/// For a 1-link topology this reproduces `engine::run_with_faults`
+/// bit-identically (same seed → same traces and counters); for a
+/// lossless all-window topology it reproduces the legacy `run_tandem`
+/// counters (pinned by `tests/engine_equivalence.rs`).
+///
+/// # Errors
+/// [`NumericsError::InvalidParameter`] for an empty topology or flow
+/// list, non-positive rates/times, routes out of range, or `loss_prob`
+/// outside [0, 1).
+#[allow(clippy::too_many_lines)]
+pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> {
+    config.validate(flows)?;
+    let k = config.topology.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ev = EventQueue::new();
+    let mut states: Vec<SourceState> = flows.iter().map(|f| f.source.initial_state()).collect();
+    let mut stats: Vec<NetFlowStats> = flows
+        .iter()
+        .map(|f| NetFlowStats {
+            hops: f.route.hops(),
+            ..NetFlowStats::default()
+        })
+        .collect();
+
+    // Per-hop queue state: FIFO of (flow, marked) with head in service.
+    let mut fifos: Vec<VecDeque<(usize, bool)>> = vec![VecDeque::new(); k];
+    let mut q_len = vec![0u64; k];
+    let mut server_busy = vec![false; k];
+    let mut served = vec![0u64; k];
+
+    // Per-hop time-weighted queue accumulation after warm-up.
+    let mut area = vec![0.0f64; k];
+    let mut last_change = vec![config.warmup; k];
+
+    // Bootstrap events (flow order; identical schedule to the legacy
+    // engines so the shims stay bit-identical).
+    for (i, f) in flows.iter().enumerate() {
+        match &f.source {
+            SourceSpec::Rate {
+                update_interval, ..
+            } => {
+                ev.push(0.0, EventKind::SendPacket { flow: i });
+                ev.push(*update_interval, EventKind::Observe { flow: i });
+            }
+            SourceSpec::OnOff { .. } => {
+                ev.push(0.0, EventKind::SendPacket { flow: i });
+                if let SourceState::OnOff { chain_alive, .. } = &mut states[i] {
+                    *chain_alive = true;
+                }
+                // First ON sojourn; the toggle chain is self-rescheduling.
+                ev.push(0.0, EventKind::Toggle { flow: i });
+            }
+            SourceSpec::Window { w0, .. } | SourceSpec::Decbit { w0, .. } => {
+                // Initial burst of ⌊w0⌋ packets, spaced a hair apart so
+                // FIFO order is well-defined.
+                let burst = w0.max(1.0).floor() as u64;
+                match &mut states[i] {
+                    SourceState::Window { in_flight, .. }
+                    | SourceState::Decbit { in_flight, .. } => *in_flight = burst,
+                    SourceState::Rate { .. } | SourceState::OnOff { .. } => unreachable!(),
+                }
+                for b in 0..burst {
+                    ev.push(
+                        b as f64 * 1e-6 + f.source.prop_delay(),
+                        EventKind::Arrival {
+                            flow: i,
+                            hop: f.route.first,
+                            marked: false,
+                        },
+                    );
+                }
+                // The burst leaves the source at t = 0: count it only
+                // when the warm-up window is empty, like every other
+                // `sent` site (gated on t >= warmup).
+                if config.warmup <= 0.0 {
+                    stats[i].sent += burst;
+                }
+            }
+        }
+    }
+    ev.push(0.0, EventKind::Sample);
+    // Sample schedule: t_k = k·sample_interval for every k with
+    // k·Δ ≤ t_end, computed as fresh multiples (no `t += Δ` drift); see
+    // the relative+absolute tolerance note in the engine history.
+    let sample_quotient = config.t_end / config.sample_interval;
+    let last_sample_index = (sample_quotient * (1.0 + 1e-12) + 1e-9).floor() as u64;
+    let mut next_sample_index: u64 = 0;
+
+    // Router-side averaged queue for DECbit marking, one per hop.
+    let mut averagers: Vec<QueueAverager> = (0..k).map(|_| QueueAverager::new(0.0)).collect();
+    let any_decbit = flows
+        .iter()
+        .any(|f| matches!(f.source, SourceSpec::Decbit { .. }));
+
+    let service_time = |rng: &mut StdRng, link: &Link| -> f64 {
+        match link.service {
+            Service::Deterministic => 1.0 / link.mu,
+            Service::Exponential => {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                -u.ln() / link.mu
+            }
+        }
+    };
+    // One-way return delay from `hop` back to the flow's source (the
+    // packet crossed `hop - first + 1` propagation segments to get
+    // there). For a 1-hop route this is exactly `prop_delay`.
+    let back_delay =
+        |f: &FlowSpec, hop: usize| (hop - f.route.first + 1) as f64 * f.source.prop_delay();
+
+    let mut trace_t = Vec::new();
+    let mut trace_q: Vec<Vec<f64>> = vec![Vec::new(); k];
+    let mut trace_ctl: Vec<Vec<f64>> = Vec::new();
+
+    while let Some(event) = ev.pop() {
+        let t = event.t;
+        if t > config.t_end {
+            break;
+        }
+        match event.kind {
+            EventKind::SendPacket { flow } => match (&flows[flow].source, &mut states[flow]) {
+                (
+                    SourceSpec::Rate {
+                        prop_delay,
+                        poisson,
+                        ..
+                    },
+                    SourceState::Rate { lambda },
+                ) => {
+                    let lam = lambda.max(1e-9);
+                    if t >= config.warmup {
+                        stats[flow].sent += 1;
+                    }
+                    ev.push(
+                        t + prop_delay,
+                        EventKind::Arrival {
+                            flow,
+                            hop: flows[flow].route.first,
+                            marked: false,
+                        },
+                    );
+                    let gap = if *poisson {
+                        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        -u.ln() / lam
+                    } else {
+                        1.0 / lam
+                    };
+                    ev.push(t + gap, EventKind::SendPacket { flow });
+                }
+                (
+                    SourceSpec::OnOff {
+                        peak_rate,
+                        prop_delay,
+                        ..
+                    },
+                    SourceState::OnOff { on, chain_alive },
+                ) => {
+                    if !*on {
+                        // Chain dies during the OFF phase; the next
+                        // toggle-to-ON starts a fresh one.
+                        *chain_alive = false;
+                        continue;
+                    }
+                    if t >= config.warmup {
+                        stats[flow].sent += 1;
+                    }
+                    ev.push(
+                        t + prop_delay,
+                        EventKind::Arrival {
+                            flow,
+                            hop: flows[flow].route.first,
+                            marked: false,
+                        },
+                    );
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    ev.push(
+                        t - u.ln() / peak_rate.max(1e-9),
+                        EventKind::SendPacket { flow },
+                    );
+                }
+                _ => unreachable!("SendPacket for a window flow"),
+            },
+            EventKind::Toggle { flow } => {
+                let SourceSpec::OnOff {
+                    mean_on, mean_off, ..
+                } = &flows[flow].source
+                else {
+                    unreachable!("Toggle for non-on-off flow")
+                };
+                let SourceState::OnOff { on, chain_alive } = &mut states[flow] else {
+                    unreachable!()
+                };
+                // Exponential sojourn in the phase we are *entering*; the
+                // bootstrap toggle at t = 0 enters the ON phase.
+                let entering_on = !*on || t == 0.0;
+                let sojourn_mean = if entering_on { *mean_on } else { *mean_off };
+                if t > 0.0 {
+                    *on = !*on;
+                }
+                if *on && !*chain_alive {
+                    *chain_alive = true;
+                    // First send a full exponential gap after the phase
+                    // starts — emitting at the toggle instant itself
+                    // would bias the mean rate upward.
+                    let SourceSpec::OnOff { peak_rate, .. } = &flows[flow].source else {
+                        unreachable!()
+                    };
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    ev.push(
+                        t - u.ln() / peak_rate.max(1e-9),
+                        EventKind::SendPacket { flow },
+                    );
+                }
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                ev.push(
+                    t - u.ln() * sojourn_mean.max(1e-9),
+                    EventKind::Toggle { flow },
+                );
+            }
+            EventKind::Arrival { flow, hop, marked } => {
+                // Random link loss (per-hop fault injection).
+                let loss_prob = self_loss(&config.faults, hop);
+                if loss_prob > 0.0 && rng.gen::<f64>() < loss_prob {
+                    if t >= config.warmup {
+                        stats[flow].dropped += 1;
+                    }
+                    if matches!(
+                        flows[flow].source,
+                        SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
+                    ) {
+                        // Drop-as-signal: a marked ack returns from the
+                        // loss point so the source reacts.
+                        ev.push(
+                            t + back_delay(&flows[flow], hop),
+                            EventKind::Ack { flow, marked: true },
+                        );
+                    }
+                    continue;
+                }
+                if let Some(cap) = config.topology.links[hop].buffer {
+                    if q_len[hop] >= cap {
+                        if t >= config.warmup {
+                            stats[flow].dropped += 1;
+                        }
+                        // A dropped packet of a window flow still frees
+                        // its in-flight slot (drop-as-mark).
+                        if matches!(
+                            flows[flow].source,
+                            SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
+                        ) {
+                            ev.push(
+                                t + back_delay(&flows[flow], hop),
+                                EventKind::Ack { flow, marked: true },
+                            );
+                        }
+                        continue;
+                    }
+                }
+                // Mark policy at this hop, OR-ed with marks from hops
+                // already crossed: instantaneous queue for Rate/Window
+                // flows, regeneration-cycle averaged queue for DECbit.
+                let marked = marked
+                    || if matches!(flows[flow].source, SourceSpec::Decbit { .. }) {
+                        averagers[hop].congestion_bit(t, flows[flow].source.q_hat())
+                    } else {
+                        q_len[hop] as f64 > flows[flow].source.q_hat()
+                    };
+                if t >= config.warmup {
+                    area[hop] += q_len[hop] as f64 * (t - last_change[hop]);
+                    last_change[hop] = t;
+                } else {
+                    last_change[hop] = t.max(config.warmup);
+                }
+                fifos[hop].push_back((flow, marked));
+                q_len[hop] += 1;
+                if any_decbit {
+                    averagers[hop].observe(t, q_len[hop] as f64);
+                }
+                if !server_busy[hop] {
+                    server_busy[hop] = true;
+                    ev.push(
+                        t + service_time(&mut rng, &config.topology.links[hop]),
+                        EventKind::Departure { hop },
+                    );
+                }
+            }
+            EventKind::Departure { hop } => {
+                let (flow, marked) = fifos[hop].pop_front().expect("departure from empty queue");
+                let exits = hop == flows[flow].route.last;
+                if t >= config.warmup {
+                    area[hop] += q_len[hop] as f64 * (t - last_change[hop]);
+                    last_change[hop] = t;
+                    served[hop] += 1;
+                    if exits {
+                        stats[flow].delivered += 1;
+                    }
+                } else {
+                    last_change[hop] = t.max(config.warmup);
+                }
+                q_len[hop] -= 1;
+                if any_decbit {
+                    averagers[hop].observe(t, q_len[hop] as f64);
+                }
+                if exits {
+                    // Leaves the network; window flows get an ack across
+                    // the whole return path.
+                    if matches!(
+                        flows[flow].source,
+                        SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
+                    ) {
+                        ev.push(
+                            t + back_delay(&flows[flow], hop),
+                            EventKind::Ack { flow, marked },
+                        );
+                    }
+                } else {
+                    // Forward to the next hop after one hop delay,
+                    // carrying the marks collected so far.
+                    ev.push(
+                        t + flows[flow].source.prop_delay(),
+                        EventKind::Arrival {
+                            flow,
+                            hop: hop + 1,
+                            marked,
+                        },
+                    );
+                }
+                if q_len[hop] > 0 {
+                    ev.push(
+                        t + service_time(&mut rng, &config.topology.links[hop]),
+                        EventKind::Departure { hop },
+                    );
+                } else {
+                    server_busy[hop] = false;
+                }
+            }
+            EventKind::Observe { flow } => {
+                let SourceSpec::Rate {
+                    update_interval, ..
+                } = &flows[flow].source
+                else {
+                    unreachable!("Observe for non-rate flow");
+                };
+                // The path bottleneck: the most congested queue on the
+                // flow's route (a 1-hop route reads its only queue).
+                let route = flows[flow].route;
+                let observed_queue = (route.first..=route.last)
+                    .map(|h| q_len[h])
+                    .max()
+                    .unwrap_or(0);
+                ev.push(
+                    t + back_delay(&flows[flow], route.last),
+                    EventKind::Feedback {
+                        flow,
+                        observed_queue,
+                    },
+                );
+                ev.push(t + update_interval, EventKind::Observe { flow });
+            }
+            EventKind::Feedback {
+                flow,
+                observed_queue,
+            } => {
+                let SourceSpec::Rate {
+                    law,
+                    update_interval,
+                    ..
+                } = &flows[flow].source
+                else {
+                    unreachable!()
+                };
+                let SourceState::Rate { lambda } = &mut states[flow] else {
+                    unreachable!()
+                };
+                *lambda = rate_update(law, *lambda, observed_queue as f64, *update_interval);
+            }
+            EventKind::Ack { flow, marked } => {
+                let (allowed, in_flight_ref) = match (&flows[flow].source, &mut states[flow]) {
+                    (SourceSpec::Window { aimd, .. }, state) => {
+                        window_on_ack(aimd, state, marked);
+                        let SourceState::Window {
+                            window, in_flight, ..
+                        } = state
+                        else {
+                            unreachable!()
+                        };
+                        (window.floor().max(1.0) as u64, in_flight)
+                    }
+                    (SourceSpec::Decbit { .. }, SourceState::Decbit { ctl, in_flight }) => {
+                        *in_flight = in_flight.saturating_sub(1);
+                        let _ = ctl.on_ack(marked);
+                        (ctl.window().floor().max(1.0) as u64, in_flight)
+                    }
+                    _ => unreachable!("Ack for a rate flow"),
+                };
+                let mut to_send = allowed.saturating_sub(*in_flight_ref);
+                while to_send > 0 {
+                    *in_flight_ref += 1;
+                    if t >= config.warmup {
+                        stats[flow].sent += 1;
+                    }
+                    ev.push(
+                        t + flows[flow].source.prop_delay(),
+                        EventKind::Arrival {
+                            flow,
+                            hop: flows[flow].route.first,
+                            marked: false,
+                        },
+                    );
+                    to_send -= 1;
+                }
+            }
+            EventKind::Sample => {
+                trace_t.push(t);
+                for hop in 0..k {
+                    trace_q[hop].push(q_len[hop] as f64);
+                }
+                trace_ctl.push(
+                    states
+                        .iter()
+                        .map(|s| match s {
+                            SourceState::Rate { lambda } => *lambda,
+                            SourceState::Window { window, .. } => *window,
+                            SourceState::Decbit { ctl, .. } => ctl.window(),
+                            SourceState::OnOff { on, .. } => f64::from(u8::from(*on)),
+                        })
+                        .collect(),
+                );
+                next_sample_index += 1;
+                if next_sample_index <= last_sample_index {
+                    // The multiple can round a hair past t_end; clamp so
+                    // the final sample still lands inside the horizon.
+                    let tk = (next_sample_index as f64 * config.sample_interval).min(config.t_end);
+                    ev.push(tk, EventKind::Sample);
+                }
+            }
+        }
+    }
+
+    // Close the per-hop queue-area integrals at t_end.
+    let window = config.t_end - config.warmup;
+    let mut mean_queue = Vec::with_capacity(k);
+    let mut utilization = Vec::with_capacity(k);
+    for hop in 0..k {
+        let mut a = area[hop];
+        if config.t_end > last_change[hop] {
+            a += q_len[hop] as f64 * (config.t_end - last_change[hop]);
+        }
+        mean_queue.push(a / window);
+        utilization.push(served[hop] as f64 / window / config.topology.links[hop].mu);
+    }
+    for f in &mut stats {
+        f.throughput = f.delivered as f64 / window;
+    }
+    let total_throughput: f64 = stats.iter().map(|f| f.throughput).sum();
+    let capacity: f64 = config.topology.links.iter().map(|l| l.mu).sum();
+    Ok(NetResult {
+        trace_t,
+        trace_q,
+        trace_ctl,
+        flows: stats,
+        mean_queue,
+        total_throughput,
+        utilization,
+        capacity,
+    })
+}
+
+/// Loss probability at `hop` (`faults` empty = lossless everywhere).
+fn self_loss(faults: &[FaultConfig], hop: usize) -> f64 {
+    faults.get(hop).map_or(0.0, |f| f.loss_prob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpk_congestion::{LinearExp, WindowAimd};
+
+    fn link(mu: f64) -> Link {
+        Link {
+            mu,
+            service: Service::Exponential,
+            buffer: None,
+        }
+    }
+
+    fn window_flow(route: Route) -> FlowSpec {
+        FlowSpec {
+            source: SourceSpec::Window {
+                aimd: WindowAimd::new(1.0, 0.5, 0.05, 10.0),
+                w0: 2.0,
+            },
+            route,
+        }
+    }
+
+    fn net(k: usize) -> NetConfig {
+        NetConfig {
+            topology: Topology::uniform(k, link(100.0)),
+            faults: Vec::new(),
+            t_end: 60.0,
+            warmup: 12.0,
+            sample_interval: 0.1,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = net(3);
+        let flows = vec![window_flow(Route::full(3)), window_flow(Route::single(1))];
+        let a = run_network(&cfg, &flows).unwrap();
+        let b = run_network(&cfg, &flows).unwrap();
+        assert_eq!(a.flows[0].delivered, b.flows[0].delivered);
+        assert_eq!(a.trace_q, b.trace_q);
+    }
+
+    #[test]
+    fn per_hop_traces_and_means_recorded() {
+        let cfg = net(3);
+        let flows = vec![window_flow(Route::full(3))];
+        let out = run_network(&cfg, &flows).unwrap();
+        assert_eq!(out.trace_q.len(), 3);
+        assert_eq!(out.mean_queue.len(), 3);
+        assert_eq!(out.utilization.len(), 3);
+        assert_eq!(out.trace_q[0].len(), out.trace_t.len());
+        assert!(out.mean_queue.iter().all(|&q| q >= 0.0));
+        assert!(out.flows[0].delivered > 0);
+        assert_eq!(out.flows[0].hops, 3);
+    }
+
+    #[test]
+    fn rate_sources_work_multi_hop() {
+        // The scenario the legacy tandem could not express: a rate-based
+        // JRJ source crossing several hops.
+        let cfg = net(3);
+        let flows = vec![FlowSpec {
+            source: SourceSpec::Rate {
+                law: LinearExp::new(8.0, 0.5, 10.0),
+                lambda0: 20.0,
+                update_interval: 0.1,
+                prop_delay: 0.01,
+                poisson: true,
+            },
+            route: Route::full(3),
+        }];
+        let out = run_network(&cfg, &flows).unwrap();
+        assert!(out.flows[0].delivered > 100, "rate flow must deliver");
+        assert!(out.flows[0].sent >= out.flows[0].delivered);
+    }
+
+    #[test]
+    fn per_hop_faults_hit_only_their_hop() {
+        // Loss only at hop 1: a hop-0 cross flow sees no drops, the
+        // 2-hop flow does.
+        let mut cfg = net(2);
+        cfg.faults = vec![
+            FaultConfig { loss_prob: 0.0 },
+            FaultConfig { loss_prob: 0.15 },
+        ];
+        let flows = vec![window_flow(Route::full(2)), window_flow(Route::single(0))];
+        let out = run_network(&cfg, &flows).unwrap();
+        assert!(out.flows[0].dropped > 0, "2-hop flow crosses the lossy hop");
+        assert_eq!(out.flows[1].dropped, 0, "hop-0 flow never sees hop 1");
+    }
+
+    #[test]
+    fn per_hop_buffers_drop_where_small() {
+        let mut cfg = net(2);
+        cfg.topology.links[1].buffer = Some(2);
+        cfg.topology.links[1].mu = 40.0; // hop 1 is the bottleneck
+        let flows = vec![window_flow(Route::full(2))];
+        let out = run_network(&cfg, &flows).unwrap();
+        assert!(out.flows[0].dropped > 0, "tiny hop-1 buffer must drop");
+        assert!(out.trace_q[1].iter().all(|&q| q <= 2.0));
+    }
+
+    #[test]
+    fn hop_count_unfairness_reproduced() {
+        // The fig8 mechanism through the unified engine: a long flow
+        // crossing 3 hops against per-hop cross traffic is starved.
+        let cfg = net(3);
+        let mut flows = vec![window_flow(Route::full(3))];
+        for hop in 0..3 {
+            flows.push(window_flow(Route::single(hop)));
+        }
+        let out = run_network(&cfg, &flows).unwrap();
+        let long = out.flows[0].throughput;
+        for f in &out.flows[1..] {
+            assert!(
+                f.throughput > 1.3 * long,
+                "cross ({}) must beat long ({long})",
+                f.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_rate_and_window_share_a_tandem() {
+        let cfg = net(2);
+        let flows = vec![
+            window_flow(Route::full(2)),
+            FlowSpec {
+                source: SourceSpec::Rate {
+                    law: LinearExp::new(8.0, 0.5, 10.0),
+                    lambda0: 10.0,
+                    update_interval: 0.1,
+                    prop_delay: 0.01,
+                    poisson: true,
+                },
+                route: Route::single(1),
+            },
+        ];
+        let out = run_network(&cfg, &flows).unwrap();
+        assert!(out.flows.iter().all(|f| f.delivered > 0));
+    }
+
+    #[test]
+    fn bottleneck_hop_is_argmax_mean_queue() {
+        let r = NetResult {
+            trace_t: vec![],
+            trace_q: vec![],
+            trace_ctl: vec![],
+            flows: vec![],
+            mean_queue: vec![1.0, 4.0, 4.0, 2.0],
+            total_throughput: 0.0,
+            utilization: vec![],
+            capacity: 0.0,
+        };
+        assert_eq!(r.bottleneck_hop(), 1, "ties resolve to the lowest index");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let flows = vec![window_flow(Route::full(2))];
+        // Route out of range.
+        assert!(run_network(&net(1), &flows).is_err());
+        // Empty topology.
+        let mut cfg = net(2);
+        cfg.topology.links.clear();
+        assert!(run_network(&cfg, &flows).is_err());
+        // Bad μ.
+        let mut cfg = net(2);
+        cfg.topology.links[1].mu = 0.0;
+        assert!(run_network(&cfg, &flows).is_err());
+        // Faults length mismatch.
+        let mut cfg = net(2);
+        cfg.faults = vec![FaultConfig { loss_prob: 0.1 }];
+        assert!(run_network(&cfg, &flows).is_err());
+        // Bad loss probability.
+        let mut cfg = net(2);
+        cfg.faults = vec![
+            FaultConfig { loss_prob: 0.1 },
+            FaultConfig { loss_prob: 1.0 },
+        ];
+        assert!(run_network(&cfg, &flows).is_err());
+        // Empty flows.
+        assert!(run_network(&net(2), &[]).is_err());
+        // Bad warmup.
+        let mut cfg = net(2);
+        cfg.warmup = cfg.t_end;
+        assert!(run_network(&cfg, &flows).is_err());
+    }
+
+    #[test]
+    fn marks_compound_along_the_route() {
+        // A tight q̂ at every hop: the long flow's ack marks come from
+        // any congested hop, so its window is cut more often than a
+        // single-hop flow with the same parameters sees.
+        let mk = |route: Route| FlowSpec {
+            source: SourceSpec::Window {
+                aimd: WindowAimd::new(1.0, 0.5, 0.05, 2.0),
+                w0: 2.0,
+            },
+            route,
+        };
+        let mut cfg = net(3);
+        cfg.topology = Topology::uniform(3, link(60.0));
+        let mut flows = vec![mk(Route::full(3))];
+        for hop in 0..3 {
+            flows.push(mk(Route::single(hop)));
+        }
+        let out = run_network(&cfg, &flows).unwrap();
+        let long = out.flows[0].throughput;
+        let best_cross = out.flows[1..]
+            .iter()
+            .map(|f| f.throughput)
+            .fold(f64::MIN, f64::max);
+        assert!(
+            long < best_cross,
+            "compounded marks must cost the long flow"
+        );
+    }
+}

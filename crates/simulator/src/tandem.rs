@@ -1,23 +1,23 @@
-//! Tandem (multi-hop) topology: K bottleneck queues in series, flows
-//! crossing contiguous spans of them.
+//! Legacy tandem (multi-hop) API: K bottleneck queues in series, flows
+//! crossing contiguous spans of them with window-AIMD controllers.
 //!
 //! The paper's introduction cites Zhang [Zha 89] and Jacobson [Jac 88]:
 //! *connections traversing more hops receive a poorer share of an
 //! intermediate resource than connections with fewer hops*. This module
-//! reproduces that observation at packet level: a long flow crossing all
-//! K queues competes at each hop with short single-hop cross-traffic;
-//! the long flow sees (a) the sum of propagation delays, (b) marks from
-//! *any* congested hop (its mark probability compounds), so it backs off
-//! more often and recovers more slowly.
+//! keeps the original tandem entry point alive, but the event loop that
+//! once lived here is gone: [`run_tandem`] is now a thin shim that maps
+//! the legacy types onto the topology-first API
+//! ([`crate::network::run_network`]) — same counters for a
+//! legacy-shaped run (pinned by `tests/engine_equivalence.rs`), and
+//! everything the unified engine gained (faults, traces, rate sources,
+//! DECbit marking) is available by using [`crate::network`] directly.
 
-use crate::source::{window_on_ack, SourceState};
+use crate::engine::Service;
+use crate::network::{run_network, FlowSpec, Link, NetConfig, Route, Topology};
+use crate::source::SourceSpec;
 use fpk_congestion::WindowAimd;
-use fpk_numerics::{NumericsError, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fpk_numerics::Result;
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
 
 /// A flow crossing hops `first_hop..=last_hop` with a window-AIMD
 /// controller.
@@ -47,6 +47,21 @@ impl TandemFlow {
     pub fn hop_delay(&self) -> f64 {
         0.5 * self.aimd.rtt
     }
+
+    /// The equivalent topology-first flow description.
+    #[must_use]
+    pub fn to_flow_spec(&self) -> FlowSpec {
+        FlowSpec {
+            source: SourceSpec::Window {
+                aimd: self.aimd,
+                w0: self.w0,
+            },
+            route: Route {
+                first: self.first_hop,
+                last: self.last_hop,
+            },
+        }
+    }
 }
 
 /// Tandem simulation configuration.
@@ -64,11 +79,50 @@ pub struct TandemConfig {
     pub seed: u64,
 }
 
-/// Per-flow tandem results.
+impl TandemConfig {
+    /// The equivalent [`NetConfig`]: one infinite-buffer link per μ, no
+    /// faults. The legacy tandem recorded no traces, so the shim samples
+    /// only at the endpoints (`sample_interval = t_end`) — sampling
+    /// draws no randomness, so the trace cadence cannot perturb the run.
+    #[must_use]
+    pub fn to_net_config(&self) -> NetConfig {
+        let service = if self.exponential_service {
+            Service::Exponential
+        } else {
+            Service::Deterministic
+        };
+        NetConfig {
+            topology: Topology {
+                links: self
+                    .mu
+                    .iter()
+                    .map(|&mu| Link {
+                        mu,
+                        service,
+                        buffer: None,
+                    })
+                    .collect(),
+            },
+            faults: Vec::new(),
+            t_end: self.t_end,
+            warmup: self.warmup,
+            sample_interval: if self.t_end > 0.0 { self.t_end } else { 1.0 },
+            seed: self.seed,
+        }
+    }
+}
+
+/// Per-flow tandem results — the same unified counters the topology API
+/// reports ([`crate::network::NetFlowStats`]).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TandemFlowStats {
+    /// Packets handed to the network after warm-up.
+    pub sent: u64,
     /// Packets delivered end-to-end after warm-up.
     pub delivered: u64,
+    /// Packets dropped at any hop after warm-up (always 0 for the
+    /// lossless, infinite-buffer legacy configuration).
+    pub dropped: u64,
     /// End-to-end throughput (packets/s).
     pub throughput: f64,
     /// Number of hops the flow crosses.
@@ -84,245 +138,27 @@ pub struct TandemResult {
     pub mean_queue: Vec<f64>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Kind {
-    /// Packet of `flow` arrives at queue `hop`.
-    Arrive {
-        flow: usize,
-        hop: usize,
-        marked: bool,
-    },
-    /// Head-of-line departure at queue `hop`.
-    Depart { hop: usize },
-    /// Ack returns to `flow`.
-    Ack { flow: usize, marked: bool },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Ev {
-    t: f64,
-    seq: u64,
-    kind: Kind,
-}
-
-impl Eq for Ev {}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .t
-            .partial_cmp(&self.t)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Run a tandem simulation.
+/// Run a tandem simulation through the unified network engine.
 ///
 /// # Errors
-/// [`NumericsError::InvalidParameter`] for empty topology/flows, routes
-/// out of range, or bad times.
-#[allow(clippy::too_many_lines)]
+/// [`fpk_numerics::NumericsError::InvalidParameter`] for empty
+/// topology/flows, routes out of range, or bad times.
 pub fn run_tandem(config: &TandemConfig, flows: &[TandemFlow]) -> Result<TandemResult> {
-    let k = config.mu.len();
-    if k == 0 || flows.is_empty() {
-        return Err(NumericsError::InvalidParameter {
-            context: "run_tandem: need >= 1 queue and >= 1 flow",
-        });
-    }
-    if config.mu.iter().any(|&m| !(m > 0.0)) {
-        return Err(NumericsError::InvalidParameter {
-            context: "run_tandem: service rates must be positive",
-        });
-    }
-    if flows
-        .iter()
-        .any(|f| f.first_hop > f.last_hop || f.last_hop >= k)
-    {
-        return Err(NumericsError::InvalidParameter {
-            context: "run_tandem: flow route out of range",
-        });
-    }
-    if !(config.t_end > 0.0) || !(0.0..config.t_end).contains(&config.warmup) {
-        return Err(NumericsError::InvalidParameter {
-            context: "run_tandem: need t_end > 0 and warmup in [0, t_end)",
-        });
-    }
-
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push = |heap: &mut BinaryHeap<Ev>, seq: &mut u64, t: f64, kind: Kind| {
-        assert!(t.is_finite());
-        heap.push(Ev { t, seq: *seq, kind });
-        *seq += 1;
-    };
-
-    // Per-queue state.
-    let mut fifos: Vec<VecDeque<(usize, bool)>> = vec![VecDeque::new(); k];
-    let mut busy = vec![false; k];
-    let mut q_len = vec![0u64; k];
-    let mut area = vec![0.0f64; k];
-    let mut last_change = vec![config.warmup; k];
-
-    // Per-flow state.
-    let mut states: Vec<SourceState> = flows
-        .iter()
-        .map(|f| SourceState::Window {
-            window: f.w0.max(1.0),
-            in_flight: 0,
-            marked_this_round: false,
-            acks_this_round: 0,
-            cut_this_round: false,
-        })
-        .collect();
-    let mut delivered = vec![0u64; flows.len()];
-
-    // Initial bursts.
-    for (i, f) in flows.iter().enumerate() {
-        let burst = f.w0.max(1.0).floor() as u64;
-        if let SourceState::Window { in_flight, .. } = &mut states[i] {
-            *in_flight = burst;
-        }
-        for b in 0..burst {
-            push(
-                &mut heap,
-                &mut seq,
-                f.hop_delay() + b as f64 * 1e-6,
-                Kind::Arrive {
-                    flow: i,
-                    hop: f.first_hop,
-                    marked: false,
-                },
-            );
-        }
-    }
-
-    let service = |rng: &mut StdRng, hop: usize| -> f64 {
-        if config.exponential_service {
-            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            -u.ln() / config.mu[hop]
-        } else {
-            1.0 / config.mu[hop]
-        }
-    };
-
-    while let Some(ev) = heap.pop() {
-        let t = ev.t;
-        if t > config.t_end {
-            break;
-        }
-        match ev.kind {
-            Kind::Arrive { flow, hop, marked } => {
-                // OR-in this hop's congestion mark (instantaneous test
-                // against the flow's q̂).
-                let marked = marked || q_len[hop] as f64 > flows[flow].aimd.q_hat;
-                if t >= config.warmup {
-                    area[hop] += q_len[hop] as f64 * (t - last_change[hop]);
-                    last_change[hop] = t;
-                } else {
-                    last_change[hop] = t.max(config.warmup);
-                }
-                fifos[hop].push_back((flow, marked));
-                q_len[hop] += 1;
-                if !busy[hop] {
-                    busy[hop] = true;
-                    let st = service(&mut rng, hop);
-                    push(&mut heap, &mut seq, t + st, Kind::Depart { hop });
-                }
-            }
-            Kind::Depart { hop } => {
-                let (flow, marked) = fifos[hop].pop_front().expect("depart from empty");
-                if t >= config.warmup {
-                    area[hop] += q_len[hop] as f64 * (t - last_change[hop]);
-                    last_change[hop] = t;
-                } else {
-                    last_change[hop] = t.max(config.warmup);
-                }
-                q_len[hop] -= 1;
-                let f = &flows[flow];
-                if hop < f.last_hop {
-                    // Forward to the next hop after one hop delay.
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        t + f.hop_delay(),
-                        Kind::Arrive {
-                            flow,
-                            hop: hop + 1,
-                            marked,
-                        },
-                    );
-                } else {
-                    // Exits the network; ack returns across the whole
-                    // path.
-                    if t >= config.warmup {
-                        delivered[flow] += 1;
-                    }
-                    let back = f.hops() as f64 * f.hop_delay();
-                    push(&mut heap, &mut seq, t + back, Kind::Ack { flow, marked });
-                }
-                if q_len[hop] > 0 {
-                    let st = service(&mut rng, hop);
-                    push(&mut heap, &mut seq, t + st, Kind::Depart { hop });
-                } else {
-                    busy[hop] = false;
-                }
-            }
-            Kind::Ack { flow, marked } => {
-                let f = &flows[flow];
-                window_on_ack(&f.aimd, &mut states[flow], marked);
-                let SourceState::Window {
-                    window, in_flight, ..
-                } = &mut states[flow]
-                else {
-                    unreachable!()
-                };
-                let allowed = window.floor().max(1.0) as u64;
-                let mut to_send = allowed.saturating_sub(*in_flight);
-                while to_send > 0 {
-                    *in_flight += 1;
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        t + f.hop_delay(),
-                        Kind::Arrive {
-                            flow,
-                            hop: f.first_hop,
-                            marked: false,
-                        },
-                    );
-                    to_send -= 1;
-                }
-            }
-        }
-    }
-
-    let window = config.t_end - config.warmup;
-    let mut mean_queue = Vec::with_capacity(k);
-    for hop in 0..k {
-        let mut a = area[hop];
-        if config.t_end > last_change[hop] {
-            a += q_len[hop] as f64 * (config.t_end - last_change[hop]);
-        }
-        mean_queue.push(a / window);
-    }
-    let stats: Vec<TandemFlowStats> = flows
-        .iter()
-        .enumerate()
-        .map(|(i, f)| TandemFlowStats {
-            delivered: delivered[i],
-            throughput: delivered[i] as f64 / window,
-            hops: f.hops(),
-        })
-        .collect();
+    let specs: Vec<FlowSpec> = flows.iter().map(TandemFlow::to_flow_spec).collect();
+    let out = run_network(&config.to_net_config(), &specs)?;
     Ok(TandemResult {
-        flows: stats,
-        mean_queue,
+        flows: out
+            .flows
+            .iter()
+            .map(|f| TandemFlowStats {
+                sent: f.sent,
+                delivered: f.delivered,
+                dropped: f.dropped,
+                throughput: f.throughput,
+                hops: f.hops,
+            })
+            .collect(),
+        mean_queue: out.mean_queue,
     })
 }
 
@@ -423,6 +259,29 @@ mod tests {
         let a = run_tandem(&config(2), &flows).unwrap();
         let b = run_tandem(&config(2), &flows).unwrap();
         assert_eq!(a.flows[0].delivered, b.flows[0].delivered);
+    }
+
+    #[test]
+    fn counters_unified_with_the_network_engine() {
+        // The legacy result now carries the full sent/delivered/dropped
+        // books; on a lossless infinite-buffer tandem every sent packet
+        // is eventually delivered or still in flight.
+        let flows = [TandemFlow {
+            aimd: aimd(0.05),
+            w0: 2.0,
+            first_hop: 0,
+            last_hop: 1,
+        }];
+        let out = run_tandem(&config(2), &flows).unwrap();
+        let f = &out.flows[0];
+        assert!(f.sent > 0, "sent counter must be recorded");
+        assert_eq!(f.dropped, 0, "legacy tandem is lossless");
+        assert!(
+            f.sent >= f.delivered,
+            "sent {} < delivered {}",
+            f.sent,
+            f.delivered
+        );
     }
 
     #[test]

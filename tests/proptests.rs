@@ -10,14 +10,48 @@
 //!   like C0/C1;
 //! * finite-volume advection conserves mass and preserves positivity for
 //!   arbitrary velocity fields and profiles;
-//! * the DDE integrator degenerates to the ODE integrator as τ → 0.
+//! * the DDE integrator degenerates to the ODE integrator as τ → 0;
+//! * the scenario layer's seed-derivation contract (DESIGN §3b):
+//!   reordering axis *values* only moves seeds between the cells whose
+//!   positions changed, and growing the replication count R never
+//!   perturbs the first R−1 replication seeds.
 
 use fpk_repro::congestion::theory::{sliding_share, ReturnMap};
 use fpk_repro::congestion::LinearExp;
 use fpk_repro::fluid::single::{simulate, FluidParams};
 use fpk_repro::fpk::fv::{advect_sweep, diffuse_crank_nicolson, Limiter};
 use fpk_repro::numerics::dde::DdeProblem;
+use fpk_repro::scenarios::{Axis, Ensemble, Scenario, Sweep};
+use fpk_repro::sim::{Service, SimConfig};
 use proptest::prelude::*;
+
+/// A scenario whose contents never run — the seed-contract tests only
+/// inspect the grid expansion, not simulation output.
+fn grid_scenario() -> Scenario {
+    Scenario::new(
+        "seed_contract",
+        SimConfig {
+            mu: 50.0,
+            service: Service::Exponential,
+            buffer: None,
+            t_end: 10.0,
+            warmup: 2.0,
+            sample_interval: 0.1,
+            seed: 0,
+        },
+        Vec::new(),
+    )
+}
+
+/// Map each cell's first-axis coordinate to its derived seed.
+fn coord_seed_pairs(base_seed: u64, values: &[f64]) -> Vec<(f64, u64)> {
+    Sweep::new(grid_scenario(), base_seed)
+        .axis(Axis::label_only("v", values.to_vec()))
+        .cells()
+        .into_iter()
+        .map(|c| (c.coords[0], c.seed))
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -114,6 +148,68 @@ proptest! {
         let mass1: f64 = f.iter().sum();
         prop_assert!((mass1 - mass0).abs() <= 1e-9 * mass0.max(1.0));
         prop_assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn swapping_axis_values_only_swaps_the_affected_seeds(
+        base_seed_raw in 0usize..usize::MAX,
+        n in 2usize..12,
+        i in 0usize..12,
+        j in 0usize..12,
+    ) {
+        // Axis values are distinct by construction so coordinates
+        // identify cells; swap positions i and j and check that every
+        // *unmoved* value keeps exactly the seed it had, while the
+        // swapped pair exchange theirs (cell seeds are a pure function
+        // of (base_seed, index), per DESIGN §3b).
+        let base_seed = base_seed_raw as u64;
+        let (i, j) = (i % n, j % n);
+        let values: Vec<f64> = (0..n).map(|k| k as f64).collect();
+        let mut swapped = values.clone();
+        swapped.swap(i, j);
+        let before = coord_seed_pairs(base_seed, &values);
+        let after = coord_seed_pairs(base_seed, &swapped);
+        let seed_of = |pairs: &[(f64, u64)], v: f64| {
+            pairs.iter().find(|(c, _)| *c == v).map(|(_, s)| *s).unwrap()
+        };
+        for (k, &v) in values.iter().enumerate() {
+            if k == i || k == j {
+                continue;
+            }
+            prop_assert_eq!(
+                seed_of(&before, v),
+                seed_of(&after, v),
+                "unmoved value {} must keep its seed", v
+            );
+        }
+        if i != j {
+            prop_assert_eq!(seed_of(&before, values[i]), seed_of(&after, values[j]));
+            prop_assert_eq!(seed_of(&before, values[j]), seed_of(&after, values[i]));
+        }
+    }
+
+    #[test]
+    fn growing_replications_never_perturbs_earlier_seeds(
+        cell_seed_raw in 0usize..usize::MAX,
+        r_small in 1usize..20,
+        extra in 1usize..20,
+    ) {
+        // DESIGN §3b: replication r of a cell is a pure function of
+        // (cell_seed, r), so raising R only appends new seeds.
+        let cell_seed = cell_seed_raw as u64;
+        let r_big = r_small + extra;
+        let small: Vec<u64> = (0..r_small)
+            .map(|r| Ensemble::replication_seed(cell_seed, r))
+            .collect();
+        let big: Vec<u64> = (0..r_big)
+            .map(|r| Ensemble::replication_seed(cell_seed, r))
+            .collect();
+        prop_assert_eq!(&small[..], &big[..r_small]);
+        // And the appended seeds are genuinely new streams.
+        let mut all = big.clone();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), r_big, "replication seeds must be distinct");
     }
 
     #[test]

@@ -11,7 +11,10 @@
 use fpk_repro::congestion::decbit::DecbitPolicy;
 use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::fpk::{Density, FpProblem, FpSolver};
-use fpk_repro::sim::{run, run_with_faults, FaultConfig, Service, SimConfig, SourceSpec};
+use fpk_repro::sim::{
+    run, run_network, run_with_faults, FaultConfig, FlowSpec, Link, NetConfig, Route, Service,
+    SimConfig, SourceSpec, Topology,
+};
 
 fn short_config(seed: u64) -> SimConfig {
     SimConfig {
@@ -307,6 +310,69 @@ fn des_mixed_sources_with_loss_smoke() {
         assert!(f.dropped > 0, "flow {i} saw no injected drops");
         assert!(f.delivered > 0, "flow {i} stalled under loss");
     }
+}
+
+#[test]
+fn des_network_parking_lot_rate_sources_smoke() {
+    // The scenario the pre-topology API could not express: rate-based
+    // JRJ sources on a 3-hop parking lot with heterogeneous per-hop μ
+    // and loss injected at one hop only. Short horizon — this is the
+    // smoke twin of `examples/multihop_tandem.rs` part 4.
+    let jrj = |route: Route| FlowSpec {
+        source: SourceSpec::Rate {
+            law: LinearExp::new(8.0, 0.5, 10.0),
+            lambda0: 20.0,
+            update_interval: 0.1,
+            prop_delay: 0.01,
+            poisson: true,
+        },
+        route,
+    };
+    // Infinite buffers so the *only* drop source is the injected loss
+    // at hop 1 — that keeps the per-hop bookkeeping assertions sharp.
+    let link = |mu: f64| Link {
+        mu,
+        service: Service::Exponential,
+        buffer: None,
+    };
+    let net = NetConfig {
+        topology: Topology {
+            links: vec![link(90.0), link(60.0), link(120.0)],
+        },
+        faults: vec![
+            FaultConfig { loss_prob: 0.0 },
+            FaultConfig { loss_prob: 0.05 },
+            FaultConfig { loss_prob: 0.0 },
+        ],
+        t_end: 15.0,
+        warmup: 3.0,
+        sample_interval: 0.1,
+        seed: 41,
+    };
+    let flows = vec![
+        jrj(Route::full(3)),
+        jrj(Route::single(0)),
+        jrj(Route::single(1)),
+        jrj(Route::single(2)),
+    ];
+    let out = run_network(&net, &flows).expect("parking lot run");
+    assert_eq!(out.flows.len(), 4);
+    assert_eq!(out.trace_q.len(), 3, "one queue trace per hop");
+    assert_eq!(out.mean_queue.len(), 3);
+    assert!(
+        out.flows.iter().all(|f| f.delivered > 0),
+        "every flow must make progress"
+    );
+    assert_eq!(out.flows[0].hops, 3);
+    // Loss lives only at hop 1: the hop-0 and hop-2 cross flows must
+    // stay clean while the long flow and the hop-1 flow record drops.
+    assert_eq!(out.flows[1].dropped, 0, "hop 0 is lossless");
+    assert_eq!(out.flows[3].dropped, 0, "hop 2 is lossless");
+    assert!(
+        out.flows[0].dropped + out.flows[2].dropped > 0,
+        "the lossy middle hop must be visible in the books"
+    );
+    assert!(out.utilization.iter().all(|&u| (0.0..=1.5).contains(&u)));
 }
 
 #[test]

@@ -1,4 +1,4 @@
-//! Vendored minimal subset of [`serde_json`]: render any
+//! Vendored minimal subset of `serde_json`: render any
 //! `serde::Serialize` as JSON text. Write-only — the workspace only emits
 //! experiment artefacts; it never parses JSON back.
 //!
