@@ -1,7 +1,8 @@
 //! Criterion benchmark of the `fpk-scenarios` runner: a fixed 3×2 grid
 //! with 2 replications per cell (12 DES runs), executed serially and on
-//! the machine's full worker count. Tracks both the runner's overhead
-//! over bare `fpk_sim::run` loops and the parallel speedup; the two
+//! the machine's worker count (at least 2, so the parallel row exists
+//! in every baseline). Tracks both the runner's overhead over bare
+//! `fpk_sim::run` loops and the parallel speedup; the two
 //! configurations produce bit-identical reports by construction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -37,12 +38,11 @@ fn grid() -> Sweep {
 
 fn bench_scenario_grid(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenario_grid");
-    let parallel = thread_count();
-    let mut configs = vec![("serial", 1usize)];
-    if parallel > 1 {
-        configs.push(("parallel", parallel));
-    }
-    for (label, threads) in configs {
+    // Always measure a parallel configuration (≥ 2 workers even on a
+    // 1-CPU host) so the serial-vs-parallel ratio is tracked in every
+    // baseline, not only on multi-core machines.
+    let parallel = thread_count().max(2);
+    for (label, threads) in [("serial", 1usize), ("parallel", parallel)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &th| {
             let sweep = grid();
             b.iter(|| run_sweep_on(black_box(&sweep), 2, th).expect("sweep"));

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpk_congestion::{LinearExp, WindowAimd};
 use fpk_sim::{
     run, run_network, FlowSpec, Link, NetConfig, Route, Service, SimConfig, SourceSpec, Topology,
+    TraceMode,
 };
 use std::hint::black_box;
 
@@ -102,6 +103,7 @@ fn bench_network_by_hops(c: &mut Criterion) {
                 warmup: 2.0,
                 sample_interval: 0.5,
                 seed: 4,
+                trace: TraceMode::Full,
             };
             b.iter(|| run_network(black_box(&net), black_box(&flows)).expect("sim"));
         });

@@ -6,14 +6,19 @@
 //! back in index order. Output is therefore **bit-identical for a fixed
 //! base seed regardless of thread count**; the `FPK_THREADS` environment
 //! variable only changes wall-clock time.
+//!
+//! Execution model: workers *stride* the index space (worker `w` takes
+//! jobs `w, w+T, w+2T, …`), collect into per-worker stripe vectors, and
+//! the stripes are interleaved back into index order after the join —
+//! no per-job channel sends, no index tagging, no sort. Each worker also
+//! owns one reusable [`NetArena`], so DES replications after its first
+//! run allocate no simulator scratch state.
 
 use crate::ensemble::{aggregate, Ensemble, EnsembleStats};
 use crate::sweep::{Cell, Sweep};
 use fpk_numerics::Result;
-use fpk_sim::RunSummary;
+use fpk_sim::{NetArena, RunSummary};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// Worker count: the `FPK_THREADS` override when set to a positive
 /// integer, otherwise the machine's available parallelism.
@@ -31,43 +36,67 @@ pub fn thread_count() -> usize {
 /// Run `n_jobs` independent jobs on `threads` workers and return their
 /// results in job order.
 ///
-/// Jobs are handed out through an atomic counter (dynamic load
-/// balancing) and merged by index, so the output does not depend on the
-/// thread count as long as `f` is a pure function of the index.
+/// Worker `w` strides the index space (`w, w+threads, w+2·threads, …`)
+/// and collects its results into one stripe vector; the stripes are
+/// interleaved back into index order after the join. Compared to the
+/// old per-job `mpsc` sends this does no per-result channel traffic, no
+/// `(index, value)` tagging, and no final sort — and the output is
+/// bit-identical regardless of thread count as long as `f` is a pure
+/// function of the index.
 pub fn run_indexed<T, F>(n_jobs: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(n_jobs, threads, || (), |(), i| f(i))
+}
+
+/// [`run_indexed`] with per-worker scratch state: every worker calls
+/// `init` once and threads the value through all of its jobs. This is
+/// how the sweep runner reuses one [`NetArena`] per worker across many
+/// replications. Determinism contract: `f` must be a pure function of
+/// the *index* — the scratch state may cache allocations but must not
+/// leak information between jobs.
+pub fn run_indexed_with<T, C, I, F>(n_jobs: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> T + Sync,
 {
     if n_jobs == 0 {
         return Vec::new();
     }
     let threads = threads.clamp(1, n_jobs);
     if threads == 1 {
-        return (0..n_jobs).map(f).collect();
+        let mut ctx = init();
+        return (0..n_jobs).map(|i| f(&mut ctx, i)).collect();
     }
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n_jobs {
-                    break;
-                }
-                // The receiver outlives the scope; a send can only fail
-                // if the main thread panicked, which propagates anyway.
-                let _ = tx.send((i, f(i)));
-            });
-        }
-        drop(tx);
+    let stripes: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut ctx = init();
+                    let mut stripe = Vec::with_capacity(n_jobs / threads + 1);
+                    let mut i = w;
+                    while i < n_jobs {
+                        stripe.push(f(&mut ctx, i));
+                        i += threads;
+                    }
+                    stripe
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
-    let mut out: Vec<(usize, T)> = rx.into_iter().collect();
-    out.sort_unstable_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, v)| v).collect()
+    let mut iters: Vec<_> = stripes.into_iter().map(Vec::into_iter).collect();
+    (0..n_jobs)
+        .map(|i| iters[i % threads].next().expect("stripe exhausted"))
+        .collect()
 }
 
 /// Evaluate every cell of a sweep with a custom function, in parallel,
@@ -178,12 +207,15 @@ pub fn run_sweep_on(sweep: &Sweep, replications: usize, threads: usize) -> Resul
     Ensemble::new(replications)?;
     let cells = sweep.cells();
     let n_jobs = cells.len() * replications;
-    let summaries: Vec<Result<RunSummary>> = run_indexed(n_jobs, threads, |job| {
-        let cell = &cells[job / replications];
-        let r = job % replications;
-        cell.scenario
-            .run_seeded(Ensemble::replication_seed(cell.seed, r))
-    });
+    // One arena per worker: every replication after a worker's first
+    // reuses its event-queue, FIFO and trace buffers (run_seeded_in).
+    let summaries: Vec<Result<RunSummary>> =
+        run_indexed_with(n_jobs, threads, NetArena::new, |arena, job| {
+            let cell = &cells[job / replications];
+            let r = job % replications;
+            cell.scenario
+                .run_seeded_in(arena, Ensemble::replication_seed(cell.seed, r))
+        });
     let mut reports = Vec::with_capacity(cells.len());
     let mut iter = summaries.into_iter();
     for cell in cells {
@@ -255,6 +287,30 @@ mod tests {
             assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
         }
         assert!(run_indexed(0, 4, |i| i).is_empty());
+        // More workers than jobs clamps cleanly.
+        assert_eq!(run_indexed(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_indexed_with_reuses_worker_state() {
+        // Each worker counts its own jobs in its scratch state; the
+        // per-job output must still be a pure function of the index,
+        // and every job must run exactly once across all workers.
+        for threads in [1, 2, 5] {
+            let out = run_indexed_with(
+                17,
+                threads,
+                || 0usize,
+                |count, i| {
+                    *count += 1;
+                    (i, *count)
+                },
+            );
+            let indices: Vec<usize> = out.iter().map(|(i, _)| *i).collect();
+            assert_eq!(indices, (0..17).collect::<Vec<_>>());
+            let total: usize = out.iter().map(|(_, c)| *c).filter(|&c| c == 1).count();
+            assert_eq!(total, threads.min(17), "each worker starts at 1");
+        }
     }
 
     #[test]

@@ -62,8 +62,8 @@ pub mod sweep;
 pub use artifact::{results_dir, write_json};
 pub use ensemble::{aggregate, Ensemble, EnsembleStats, Stat};
 pub use exec::{
-    run_cells, run_indexed, run_sweep, run_sweep_on, thread_count, AxisReport, CellReport,
-    SweepReport,
+    run_cells, run_indexed, run_indexed_with, run_sweep, run_sweep_on, thread_count, AxisReport,
+    CellReport, SweepReport,
 };
 pub use scenario::Scenario;
 pub use sweep::{derive_seed, Axis, Cell, Sweep};

@@ -14,8 +14,8 @@
 
 use fpk_numerics::{NumericsError, Result};
 use fpk_sim::{
-    run_network, summarize_network, FaultConfig, FlowSpec, NetConfig, Route, RunSummary, SimConfig,
-    SourceSpec, Topology,
+    run_network_summary, FaultConfig, FlowSpec, NetArena, NetConfig, Route, RunSummary, SimConfig,
+    SourceSpec, Topology, TraceMode,
 };
 use serde::{Deserialize, Serialize};
 
@@ -152,6 +152,7 @@ impl Scenario {
             warmup: self.config.warmup,
             sample_interval: self.config.sample_interval,
             seed,
+            trace: TraceMode::Full,
         };
         Ok((net, flows))
     }
@@ -162,9 +163,20 @@ impl Scenario {
     /// Propagates simulator configuration/validation errors and summary
     /// (fairness/oscillation) errors.
     pub fn run_seeded(&self, seed: u64) -> Result<RunSummary> {
+        self.run_seeded_in(&mut NetArena::new(), seed)
+    }
+
+    /// [`Self::run_seeded`] against caller-owned scratch state: the run
+    /// records its traces into the arena ([`TraceMode::Summary`]) and the
+    /// summary is computed straight from them, so a replication loop
+    /// holding one arena performs no per-run trace allocation. Output is
+    /// bit-identical to [`Self::run_seeded`].
+    ///
+    /// # Errors
+    /// Same contract as [`Self::run_seeded`].
+    pub fn run_seeded_in(&self, arena: &mut NetArena, seed: u64) -> Result<RunSummary> {
         let (net, flows) = self.network(seed)?;
-        let out = run_network(&net, &flows)?;
-        summarize_network(&out, self.tail_fraction)
+        run_network_summary(arena, &net, &flows, self.tail_fraction)
     }
 }
 

@@ -19,7 +19,7 @@
 //! the historical behaviour **bit-identically** (same seed → same
 //! traces and counters, pinned by `tests/engine_equivalence.rs`).
 
-use crate::network::{run_network, FlowSpec, NetConfig, Route, Topology};
+use crate::network::{run_network, FlowSpec, NetConfig, Route, Topology, TraceMode};
 use crate::source::SourceSpec;
 use fpk_numerics::{NumericsError, Result};
 use serde::{Deserialize, Serialize};
@@ -150,6 +150,8 @@ pub fn run_with_faults(
         warmup: config.warmup,
         sample_interval: config.sample_interval,
         seed: config.seed,
+        // SimResult exposes the traces, so the shim always records them.
+        trace: TraceMode::Full,
     };
     let flows: Vec<FlowSpec> = sources
         .iter()

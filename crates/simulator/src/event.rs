@@ -1,14 +1,45 @@
-//! The event queue: a binary heap of timestamped events with
-//! deterministic FIFO tie-breaking.
+//! The event queue: a hand-rolled 4-ary indexed min-heap of timestamped
+//! events with deterministic FIFO tie-breaking, plus merged one-slot
+//! side lanes for event streams that keep at most one instance pending
+//! (the periodic `Sample` clock, per-hop departures, per-flow
+//! self-rescheduling send chains).
 //!
-//! `BinaryHeap` alone is not deterministic for equal keys, so every event
-//! carries a monotone sequence number; two events at the same simulated
-//! time fire in the order they were scheduled. Determinism matters here —
-//! every experiment in `EXPERIMENTS.md` quotes seeds, and a re-run must
-//! reproduce the table byte for byte.
+//! A binary heap alone is not deterministic for equal keys, so every
+//! event carries a monotone sequence number; two events at the same
+//! simulated time fire in the order they were scheduled. Determinism
+//! matters here — every experiment in `EXPERIMENTS.md` quotes seeds, and
+//! a re-run must reproduce the table byte for byte.
+//!
+//! # Hot-path layout
+//!
+//! This queue is the innermost data structure of every simulation run,
+//! so it is built for speed without giving up the ordering contract:
+//!
+//! * **Packed keys.** `(t, seq)` is packed into one `u128`: the high 64
+//!   bits are the time's order-preserving bit pattern (sign-flipped IEEE
+//!   754, so `a < b ⇔ key(a) < key(b)` for all finite floats), the low
+//!   64 bits the sequence number. One integer compare replaces an f64
+//!   `partial_cmp` plus a tie-break branch.
+//! * **4-ary layout.** Children of slot `i` live at `4i+1..=4i+4`:
+//!   half the tree depth of a binary heap, so pops touch fewer cache
+//!   lines for the same element count. Keys and payloads are parallel
+//!   arrays, and pops sift bottom-up (sink the hole, bubble the leaf).
+//! * **Merged side lanes.** Event streams with at most one pending
+//!   instance — the periodic `Sample` clock (the arithmetic sequence
+//!   `k·Δ`, via [`EventQueue::schedule_sample`]), each hop's next
+//!   departure, each flow's self-rescheduling send chain (via
+//!   [`EventQueue::schedule_lane`]) — never enter the heap: [`pop`]
+//!   merges the cached lane minimum against the heap head. Lanes still
+//!   consume sequence numbers exactly as pushed events would, which
+//!   keeps the total order bit-identical to the historical all-in-heap
+//!   schedule.
+//! * **`debug_assert` on finiteness.** Event times are finite by
+//!   construction in the engine; the check runs in debug/test builds
+//!   only.
+//!
+//! [`pop`]: EventQueue::pop
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// What happens when an event fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +112,9 @@ impl Eq for Event {}
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap on (t, seq); times are finite by
-        // construction (push asserts).
+        // construction. Kept as the *reference* ordering: the proptests
+        // pit the indexed heap against a `BinaryHeap<Event>` using this
+        // implementation.
         other
             .t
             .partial_cmp(&self.t)
@@ -96,11 +129,89 @@ impl PartialOrd for Event {
     }
 }
 
-/// Deterministic min-heap event queue.
-#[derive(Debug, Default)]
+/// Order-preserving bit pattern of a finite `f64`: for all finite
+/// `a < b`, `ord_bits(a) < ord_bits(b)` as `u64`. Negative zero first
+/// normalises to positive zero so the two compare equal, matching
+/// `partial_cmp`.
+#[inline]
+fn ord_bits(t: f64) -> u64 {
+    // +0.0 + -0.0 == +0.0, every other finite value is unchanged.
+    let bits = (t + 0.0).to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`ord_bits`] (exact bijection on the mapped range).
+#[inline]
+fn ord_bits_inverse(mapped: u64) -> f64 {
+    if mapped >> 63 == 1 {
+        f64::from_bits(mapped ^ (1 << 63))
+    } else {
+        f64::from_bits(!mapped)
+    }
+}
+
+/// Pack `(t, seq)` into one totally ordered `u128` key.
+#[inline]
+fn pack(t: f64, seq: u64) -> u128 {
+    (u128::from(ord_bits(t)) << 64) | u128::from(seq)
+}
+
+/// Unpack a key back into `(t, seq)`.
+#[inline]
+fn unpack(key: u128) -> (f64, u64) {
+    (ord_bits_inverse((key >> 64) as u64), key as u64)
+}
+
+/// Arity of the implicit heap.
+const D: usize = 4;
+
+/// Sentinel for an empty lane. Finite times always pack below this
+/// (`ord_bits` of a finite f64 never fills the high 64 bits with ones).
+const LANE_EMPTY: u128 = u128::MAX;
+
+/// Deterministic min-queue of events: a 4-ary indexed min-heap on packed
+/// `(t, seq)` keys, with the periodic sample stream merged in at pop
+/// time instead of living in the heap.
+///
+/// Keys and payloads live in parallel arrays (structure-of-arrays): the
+/// sift loops compare only 16-byte keys — four children span exactly one
+/// cache line — and the fatter `EventKind` payloads move alongside
+/// without ever being read during the search.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    keys: Vec<u128>,
+    kinds: Vec<EventKind>,
     next_seq: u64,
+    /// One-slot side lanes merged against the heap at pop time
+    /// ([`LANE_EMPTY`] = vacant). The engine parks event streams that
+    /// can only have one pending instance here — the sampling clock,
+    /// each hop's next departure, and each flow's self-rescheduling
+    /// send chain — so roughly half of a typical run's events never
+    /// pay a heap sift.
+    lane_keys: Vec<u128>,
+    lane_kinds: Vec<EventKind>,
+    /// Cached minimum over `lane_keys` (`LANE_EMPTY` when all vacant).
+    lane_min: u128,
+    /// Lane index of `lane_min` (meaningless when all vacant).
+    lane_min_idx: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self {
+            keys: Vec::new(),
+            kinds: Vec::new(),
+            next_seq: 0,
+            lane_keys: Vec::new(),
+            lane_kinds: Vec::new(),
+            lane_min: LANE_EMPTY,
+            lane_min_idx: 0,
+        }
+    }
 }
 
 impl EventQueue {
@@ -110,32 +221,203 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Schedule `kind` at time `t`.
+    /// Remove every pending event and reset the sequence counter,
+    /// keeping the allocated capacity (arena reuse across runs). Lanes
+    /// are removed; call [`Self::set_lane_count`] to re-create them.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.kinds.clear();
+        self.next_seq = 0;
+        self.lane_keys.clear();
+        self.lane_kinds.clear();
+        self.lane_min = LANE_EMPTY;
+        self.lane_min_idx = 0;
+    }
+
+    /// Create `n` vacant side lanes (dropping any pending lane events).
+    pub fn set_lane_count(&mut self, n: usize) {
+        self.lane_keys.clear();
+        self.lane_keys.resize(n, LANE_EMPTY);
+        self.lane_kinds.clear();
+        self.lane_kinds.resize(n, EventKind::Sample);
+        self.lane_min = LANE_EMPTY;
+        self.lane_min_idx = 0;
+    }
+
+    /// Schedule `kind` at `t` on a vacant side lane instead of the heap.
     ///
-    /// # Panics
-    /// Panics when `t` is not finite (programming error upstream).
-    pub fn push(&mut self, t: f64, kind: EventKind) {
-        assert!(t.is_finite(), "event time must be finite, got {t}");
+    /// Consumes a sequence number exactly as [`push`] would, so the
+    /// merged stream's position among equal-time events is bit-identical
+    /// to having pushed into the heap. The caller must keep at most one
+    /// pending event per lane (debug-checked) — which is what makes the
+    /// one-slot channel sufficient.
+    ///
+    /// [`push`]: EventQueue::push
+    pub fn schedule_lane(&mut self, lane: usize, t: f64, kind: EventKind) {
+        debug_assert!(t.is_finite(), "event time must be finite, got {t}");
+        debug_assert!(
+            self.lane_keys[lane] == LANE_EMPTY,
+            "lane {lane} already has a pending event"
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { t, seq, kind });
+        let key = pack(t, seq);
+        self.lane_keys[lane] = key;
+        self.lane_kinds[lane] = kind;
+        if key < self.lane_min {
+            self.lane_min = key;
+            self.lane_min_idx = lane;
+        }
     }
 
-    /// Pop the earliest event (ties in scheduling order).
+    /// Schedule `kind` at time `t`.
+    ///
+    /// Event times must be finite; this is checked in debug builds only
+    /// (the engine constructs every time as `now + positive offset`).
+    #[inline]
+    pub fn push(&mut self, t: f64, kind: EventKind) {
+        debug_assert!(t.is_finite(), "event time must be finite, got {t}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = pack(t, seq);
+        // Sift up from the new leaf with a hole, placing once.
+        let mut hole = self.keys.len();
+        self.keys.push(key);
+        self.kinds.push(kind);
+        while hole > 0 {
+            let parent = (hole - 1) / D;
+            if self.keys[parent] <= key {
+                break;
+            }
+            self.keys[hole] = self.keys[parent];
+            self.kinds[hole] = self.kinds[parent];
+            hole = parent;
+        }
+        self.keys[hole] = key;
+        self.kinds[hole] = kind;
+    }
+
+    /// Schedule the periodic statistics sample at time `t` on lane 0
+    /// (creating the lane if the caller never sized the lane set).
+    pub fn schedule_sample(&mut self, t: f64) {
+        if self.lane_keys.is_empty() {
+            self.set_lane_count(1);
+        }
+        self.schedule_lane(0, t, EventKind::Sample);
+    }
+
+    /// Pop the earliest event (ties in scheduling order), merging the
+    /// side lanes against the heap head.
+    #[inline]
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        // Finite-time keys never reach `u128::MAX`, so the vacancy
+        // sentinel doubles as "heap empty" and one compare dispatches.
+        // Keys are unique (monotone seq), so strict less-than picks the
+        // same winner the one-heap ordering would.
+        let lane_min = self.lane_min;
+        let heap_min = self.keys.first().copied().unwrap_or(LANE_EMPTY);
+        if lane_min < heap_min {
+            self.pop_lane()
+        } else if heap_min != LANE_EMPTY {
+            self.pop_heap()
+        } else {
+            None
+        }
     }
 
-    /// Number of pending events.
+    /// Pop the cached lane minimum and rescan the (tiny) lane set.
+    #[inline]
+    fn pop_lane(&mut self) -> Option<Event> {
+        let lane = self.lane_min_idx;
+        let key = self.lane_keys[lane];
+        let kind = self.lane_kinds[lane];
+        self.lane_keys[lane] = LANE_EMPTY;
+        // Branchless min-reduce first (keys are unique except the
+        // vacancy sentinel, so an equality scan then pins the index
+        // without data-dependent branches in the reduce).
+        let min = self.lane_keys.iter().fold(LANE_EMPTY, |m, &k| m.min(k));
+        self.lane_min = min;
+        if min != LANE_EMPTY {
+            self.lane_min_idx = self
+                .lane_keys
+                .iter()
+                .position(|&k| k == min)
+                .expect("min key present");
+        }
+        let (t, seq) = unpack(key);
+        Some(Event { t, seq, kind })
+    }
+
+    /// Pop the heap minimum (ignores the merged sample channel).
+    fn pop_heap(&mut self) -> Option<Event> {
+        let n = self.keys.len();
+        if n == 0 {
+            return None;
+        }
+        let top_key = self.keys[0];
+        let top_kind = self.kinds[0];
+        let last_key = self.keys.pop().expect("non-empty");
+        let last_kind = self.kinds.pop().expect("non-empty");
+        if n > 1 {
+            // Bottom-up sift (Wegener): sink the root hole all the way
+            // down along the min-child path without comparing against
+            // the displaced leaf, then bubble the leaf up from the
+            // bottom. The leaf almost always belongs near the bottom,
+            // so this saves one comparison per level on the way down.
+            // Any valid min-heap pops unique keys in the same order, so
+            // the rearrangement cannot change the pop sequence.
+            let len = n - 1;
+            let mut hole = 0;
+            loop {
+                let first_child = hole * D + 1;
+                if first_child >= len {
+                    break;
+                }
+                let end = (first_child + D).min(len);
+                let mut best = first_child;
+                let mut best_key = self.keys[first_child];
+                for c in first_child + 1..end {
+                    let k = self.keys[c];
+                    if k < best_key {
+                        best = c;
+                        best_key = k;
+                    }
+                }
+                self.keys[hole] = best_key;
+                self.kinds[hole] = self.kinds[best];
+                hole = best;
+            }
+            // Bubble the displaced leaf up from the hole.
+            while hole > 0 {
+                let parent = (hole - 1) / D;
+                if self.keys[parent] <= last_key {
+                    break;
+                }
+                self.keys[hole] = self.keys[parent];
+                self.kinds[hole] = self.kinds[parent];
+                hole = parent;
+            }
+            self.keys[hole] = last_key;
+            self.kinds[hole] = last_kind;
+        }
+        let (t, seq) = unpack(top_key);
+        Some(Event {
+            t,
+            seq,
+            kind: top_kind,
+        })
+    }
+
+    /// Number of pending events (including a pending merged sample).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.keys.len() + self.lane_keys.iter().filter(|&&k| k != LANE_EMPTY).count()
     }
 
     /// Whether no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.keys.is_empty() && self.lane_min == LANE_EMPTY
     }
 }
 
@@ -197,9 +479,10 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "finite")]
-    fn rejects_nan_time() {
+    fn rejects_nan_time_in_debug_builds() {
         let mut q = EventQueue::new();
         q.push(f64::NAN, EventKind::Sample);
     }
@@ -213,5 +496,124 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn negative_zero_ties_break_by_seq() {
+        // -0.0 and +0.0 compared Equal under the reference ordering, so
+        // scheduling order must decide — the packed key normalises -0.0.
+        let mut q = EventQueue::new();
+        q.push(0.0, EventKind::Departure { hop: 0 });
+        q.push(-0.0, EventKind::Departure { hop: 1 });
+        let first = q.pop().unwrap();
+        assert!(matches!(first.kind, EventKind::Departure { hop: 0 }));
+    }
+
+    #[test]
+    fn negative_times_order_correctly() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::Sample);
+        q.push(-2.0, EventKind::Departure { hop: 0 });
+        q.push(-1.0, EventKind::Departure { hop: 1 });
+        let ts: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.t)).collect();
+        assert_eq!(ts, vec![-2.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn merged_sample_pops_in_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::Departure { hop: 0 });
+        q.schedule_sample(0.5);
+        q.push(2.0, EventKind::Departure { hop: 1 });
+        assert_eq!(q.len(), 3);
+        let e = q.pop().unwrap();
+        assert!(matches!(e.kind, EventKind::Sample));
+        assert_eq!(e.t, 0.5);
+        assert_eq!(q.pop().unwrap().t, 1.0);
+        assert_eq!(q.pop().unwrap().t, 2.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn merged_sample_tie_breaks_by_seq_like_a_push() {
+        // Same timestamp: the sample scheduled *before* an event fires
+        // first, the sample scheduled *after* fires second — exactly the
+        // FIFO contract the in-heap schedule had.
+        let mut q = EventQueue::new();
+        q.schedule_sample(1.0);
+        q.push(1.0, EventKind::Departure { hop: 0 });
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Sample));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Departure { .. }));
+
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::Departure { hop: 0 });
+        q.schedule_sample(1.0);
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Departure { .. }));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Sample));
+    }
+
+    #[test]
+    fn sample_seq_consumption_matches_push() {
+        // schedule_sample advances the same counter push uses: an event
+        // pushed after a sample at the same time fires after it.
+        let mut q = EventQueue::new();
+        q.schedule_sample(2.0);
+        q.push(2.0, EventKind::Departure { hop: 7 });
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        assert!(a.seq < b.seq);
+        assert!(matches!(a.kind, EventKind::Sample));
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_working() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::Sample);
+        q.schedule_sample(2.0);
+        q.clear();
+        assert!(q.is_empty());
+        q.push(3.0, EventKind::Departure { hop: 0 });
+        let e = q.pop().unwrap();
+        assert_eq!(e.seq, 0, "sequence counter must restart after clear");
+        assert_eq!(e.t, 3.0);
+    }
+
+    #[test]
+    fn matches_reference_binary_heap_on_dense_ties() {
+        // A deterministic churn mixing many equal timestamps: the
+        // indexed heap must pop in exactly the order a BinaryHeap of
+        // `Event` (the reference Ord) produces.
+        use std::collections::BinaryHeap;
+        let mut fast = EventQueue::new();
+        // Event's Ord is already reversed, so BinaryHeap<Event> is the
+        // min-queue the old implementation used.
+        let mut reference: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut x = 0x9e37_79b9_u64;
+        for round in 0..200u64 {
+            for _ in 0..=(round % 7) {
+                x = x.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1);
+                // Coarse times force frequent ties.
+                let t = ((x >> 59) as f64) * 0.25;
+                let kind = EventKind::Arrival {
+                    flow: (x % 13) as usize,
+                    hop: 0,
+                    marked: x & 1 == 0,
+                };
+                fast.push(t, kind);
+                reference.push(Event { t, seq, kind });
+                seq += 1;
+            }
+            for _ in 0..=(round % 5) {
+                assert_eq!(fast.pop(), reference.pop());
+            }
+        }
+        loop {
+            let a = fast.pop();
+            assert_eq!(a, reference.pop());
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

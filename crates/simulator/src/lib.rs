@@ -8,7 +8,10 @@
 //! packet granularity with real stochastic variability (Poisson sources,
 //! exponential service).
 //!
-//! * [`event`] — deterministic event queue (time + FIFO tie-break).
+//! * [`event`] — deterministic event queue: a 4-ary indexed min-heap on
+//!   packed `(t, seq)` keys with merged side lanes for one-pending
+//!   event streams (FIFO tie-break, bit-identical to the reference
+//!   `BinaryHeap` ordering).
 //! * [`source`] — rate-based sources (Eq. 2 integrated over feedback
 //!   epochs) and window-based AIMD sources (Eq. 1, DECbit marks).
 //! * [`network`] — **the** simulation loop, topology-first: an ordered
@@ -57,9 +60,10 @@ pub mod source;
 pub mod tandem;
 
 pub use engine::{run, run_with_faults, FaultConfig, FlowStats, Service, SimConfig, SimResult};
-pub use metrics::{summarize, summarize_network, RunSummary};
+pub use metrics::{run_network_summary, summarize, summarize_network, RunSummary};
 pub use network::{
-    run_network, FlowSpec, Link, NetConfig, NetFlowStats, NetResult, Route, Topology,
+    run_network, run_network_in, FlowSpec, Link, NetArena, NetConfig, NetFlowStats, NetResult,
+    Route, Topology, TraceMode,
 };
 pub use source::SourceSpec;
 pub use tandem::{run_tandem, TandemConfig, TandemFlow, TandemFlowStats, TandemResult};

@@ -3,7 +3,7 @@
 //! predictions.
 
 use crate::engine::SimResult;
-use crate::network::NetResult;
+use crate::network::{run_network_core, FlowSpec, NetArena, NetConfig, NetResult, TraceMode};
 use fpk_numerics::signal::{analyze_oscillation, Oscillation};
 use fpk_numerics::{NumericsError, Result};
 use serde::{Deserialize, Serialize};
@@ -72,15 +72,36 @@ fn validate_tail(tail_fraction: f64, trace_len: usize) -> Result<()> {
     Ok(())
 }
 
+/// Start index of the control-trace tail window: the oscillation
+/// analysis' fraction cut with its keep-at-least-3-samples clamp. The
+/// one definition serves both trace layouts so the Full-trace and
+/// arena summary paths cannot drift apart.
+fn ctl_tail_start(n_samples: usize, tail_fraction: f64) -> usize {
+    let start = ((1.0 - tail_fraction) * n_samples as f64) as usize;
+    start.min(n_samples.saturating_sub(3))
+}
+
 /// Per-flow control-signal standard deviation over the trace tail —
-/// the same tail window as the oscillation analysis, including its
-/// keep-at-least-3-samples clamp.
+/// the same tail window as the oscillation analysis.
 fn tail_ctl_std(trace_ctl: &[Vec<f64>], n_flows: usize, tail_fraction: f64) -> Vec<f64> {
-    let start = ((1.0 - tail_fraction) * trace_ctl.len() as f64) as usize;
-    let tail = &trace_ctl[start.min(trace_ctl.len().saturating_sub(3))..];
+    let tail = &trace_ctl[ctl_tail_start(trace_ctl.len(), tail_fraction)..];
     (0..n_flows)
         .map(|i| {
             let xs: Vec<f64> = tail.iter().map(|c| c[i]).collect();
+            fpk_numerics::stats::variance(&xs).sqrt()
+        })
+        .collect()
+}
+
+/// [`tail_ctl_std`] over the arena's *flattened* control trace
+/// (`flat[sample * n_flows + flow]`). Shares [`ctl_tail_start`] with
+/// the nested version so the two paths produce bit-identical output.
+fn tail_ctl_std_flat(flat: &[f64], n_flows: usize, tail_fraction: f64) -> Vec<f64> {
+    let n_samples = flat.len().checked_div(n_flows).unwrap_or(0);
+    let s0 = ctl_tail_start(n_samples, tail_fraction);
+    (0..n_flows)
+        .map(|i| {
+            let xs: Vec<f64> = (s0..n_samples).map(|s| flat[s * n_flows + i]).collect();
             fpk_numerics::stats::variance(&xs).sqrt()
         })
         .collect()
@@ -114,6 +135,44 @@ pub fn summarize_network(result: &NetResult, tail_fraction: f64) -> Result<RunSu
         utilization: result.total_throughput / result.capacity,
         queue_oscillation,
         total_dropped: result.flows.iter().map(|f| f.dropped).sum(),
+        ctl_std,
+        throughputs,
+    })
+}
+
+/// Run a network simulation and summarise it in one step, recording
+/// traces into `arena`'s reusable buffers instead of the result
+/// ([`TraceMode::Summary`], forced regardless of `config.trace`).
+///
+/// This is the sweep fast path: a replication loop holding one arena
+/// performs **no per-run trace allocation** — and the output is
+/// bit-identical to `summarize_network(&run_network(..)?, ..)` on the
+/// same seed, because the dynamics are trace-mode-independent and the
+/// summary arithmetic is shared.
+///
+/// # Errors
+/// Propagates `run_network` validation errors and the [`summarize`]
+/// contract (trace shorter than three samples, bad `tail_fraction`).
+pub fn run_network_summary(
+    arena: &mut NetArena,
+    config: &NetConfig,
+    flows: &[FlowSpec],
+    tail_fraction: f64,
+) -> Result<RunSummary> {
+    let out = run_network_core(arena, config, flows, TraceMode::Summary)?;
+    validate_tail(tail_fraction, arena.trace_t.len())?;
+    let throughputs: Vec<f64> = out.flows.iter().map(|f| f.throughput).collect();
+    let jain = fpk_congestion::fairness::jain_index(&throughputs)?;
+    let bottleneck = out.bottleneck_hop();
+    let queue_oscillation =
+        analyze_oscillation(&arena.trace_t, &arena.trace_q[bottleneck], tail_fraction)?;
+    let ctl_std = tail_ctl_std_flat(&arena.trace_ctl, out.flows.len(), tail_fraction);
+    Ok(RunSummary {
+        jain,
+        mean_queue: fpk_numerics::stats::mean(&out.mean_queue),
+        utilization: out.total_throughput / out.capacity,
+        queue_oscillation,
+        total_dropped: out.flows.iter().map(|f| f.dropped).sum(),
         ctl_std,
         throughputs,
     })
@@ -192,6 +251,52 @@ mod tests {
     fn summarize_rejects_nan_tail_fraction() {
         let r = quick_result();
         assert!(summarize(&r, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn run_network_summary_matches_full_trace_path() {
+        // The arena fast path must not move a single bit relative to
+        // run_network (Full traces) + summarize_network.
+        use crate::network::{run_network, FlowSpec, NetConfig, Topology};
+        let cfg = NetConfig {
+            topology: Topology::single(50.0, Service::Exponential, Some(40)),
+            faults: vec![crate::engine::FaultConfig { loss_prob: 0.02 }],
+            t_end: 30.0,
+            warmup: 6.0,
+            sample_interval: 0.1,
+            seed: 42,
+            trace: crate::network::TraceMode::Full,
+        };
+        let flows: Vec<FlowSpec> = vec![
+            FlowSpec::single_hop(SourceSpec::Rate {
+                law: LinearExp::new(4.0, 0.5, 10.0),
+                lambda0: 15.0,
+                update_interval: 0.1,
+                prop_delay: 0.01,
+                poisson: true,
+            }),
+            FlowSpec::single_hop(SourceSpec::Window {
+                aimd: fpk_congestion::WindowAimd::new(1.0, 0.5, 0.05, 10.0),
+                w0: 2.0,
+            }),
+        ];
+        let reference = summarize_network(&run_network(&cfg, &flows).unwrap(), 0.5).unwrap();
+        let mut arena = NetArena::new();
+        // Dirty the arena first so reuse is exercised, then summarise.
+        run_network_summary(&mut arena, &cfg, &flows, 0.5).unwrap();
+        let fast = run_network_summary(&mut arena, &cfg, &flows, 0.5).unwrap();
+        assert_eq!(fast.throughputs, reference.throughputs);
+        assert_eq!(fast.jain.to_bits(), reference.jain.to_bits());
+        assert_eq!(fast.mean_queue.to_bits(), reference.mean_queue.to_bits());
+        assert_eq!(fast.utilization.to_bits(), reference.utilization.to_bits());
+        assert_eq!(fast.total_dropped, reference.total_dropped);
+        assert_eq!(fast.ctl_std, reference.ctl_std);
+        let osc = |s: &RunSummary| {
+            s.queue_oscillation
+                .as_ref()
+                .map(|o| (o.amplitude.to_bits(), o.period.to_bits()))
+        };
+        assert_eq!(osc(&fast), osc(&reference));
     }
 
     #[test]

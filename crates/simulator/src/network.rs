@@ -33,6 +33,30 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// How much trace data a run records.
+///
+/// The event dynamics (RNG draws, event order, counters, mean queues)
+/// are **identical across modes** — sampling draws no randomness — so
+/// the mode only controls what lands in [`NetResult`]'s trace fields and
+/// how much the run allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// Record nothing: `trace_t`/`trace_q`/`trace_ctl` come back empty.
+    /// For consumers that only read counters and per-hop means (the
+    /// legacy tandem shim, throughput-only sweeps).
+    Off,
+    /// Record traces into the reusable [`NetArena`] buffers only; the
+    /// returned [`NetResult`]'s trace fields stay empty. This is the
+    /// fast path behind [`crate::metrics::run_network_summary`]: a
+    /// [`crate::RunSummary`] is computed straight from the arena, so a
+    /// replication loop allocates no trace storage after its first run.
+    Summary,
+    /// Record traces and hand them out in [`NetResult`], preallocated at
+    /// exact capacity (`⌊t_end/sample_interval⌋ + 1` samples).
+    #[default]
+    Full,
+}
+
 /// One link of a topology: a FIFO queue with its own service process.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Link {
@@ -162,6 +186,9 @@ pub struct NetConfig {
     pub sample_interval: f64,
     /// RNG seed (the run is fully deterministic given the seed).
     pub seed: u64,
+    /// How much trace data to record ([`TraceMode::Full`] is the
+    /// `Default`, matching the engine's historical behaviour).
+    pub trace: TraceMode,
 }
 
 impl NetConfig {
@@ -205,6 +232,56 @@ impl NetConfig {
                 context: "run_network: need at least one flow",
             });
         }
+        // FIFO entries pack the flow index into 31 bits (bit 31 carries
+        // the congestion mark).
+        if flows.len() >= (1 << 31) {
+            return Err(NumericsError::InvalidParameter {
+                context: "run_network: at most 2^31 - 1 flows",
+            });
+        }
+        // Every scheduled event time is built from these parameters;
+        // non-finite or negative values would poison the event clock
+        // (the hot-path finiteness check is debug-only).
+        for f in flows {
+            let timing_ok = match &f.source {
+                SourceSpec::Rate {
+                    lambda0,
+                    update_interval,
+                    prop_delay,
+                    ..
+                } => {
+                    prop_delay.is_finite()
+                        && *prop_delay >= 0.0
+                        && update_interval.is_finite()
+                        && *update_interval > 0.0
+                        && lambda0.is_finite()
+                }
+                SourceSpec::Window { aimd, w0 } => {
+                    aimd.rtt.is_finite() && aimd.rtt >= 0.0 && w0.is_finite()
+                }
+                SourceSpec::Decbit { rtt, w0, .. } => {
+                    rtt.is_finite() && *rtt >= 0.0 && w0.is_finite()
+                }
+                SourceSpec::OnOff {
+                    peak_rate,
+                    mean_on,
+                    mean_off,
+                    prop_delay,
+                } => {
+                    prop_delay.is_finite()
+                        && *prop_delay >= 0.0
+                        && peak_rate.is_finite()
+                        && mean_on.is_finite()
+                        && mean_off.is_finite()
+                }
+            };
+            if !timing_ok {
+                return Err(NumericsError::InvalidParameter {
+                    context: "run_network: flow timing parameters must be finite \
+                              (delays/RTTs >= 0, update intervals > 0)",
+                });
+            }
+        }
         let k = self.topology.len();
         if flows
             .iter()
@@ -235,6 +312,10 @@ pub struct NetFlowStats {
 }
 
 /// Result of one network run.
+///
+/// The three trace fields are populated under [`TraceMode::Full`] only;
+/// [`TraceMode::Off`] and [`TraceMode::Summary`] leave them empty (the
+/// latter keeps the data in the [`NetArena`] for the summary fast path).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetResult {
     /// Trace sample times.
@@ -275,6 +356,124 @@ impl NetResult {
     }
 }
 
+/// Reusable per-run scratch state: source states, per-hop FIFOs (ring
+/// buffers of packed `u32` flow+mark words), DECbit averagers,
+/// accumulators, the event queue, and the trace buffers.
+///
+/// One arena serves any number of sequential runs of any shape — every
+/// buffer is cleared (capacity kept) and re-sized at the start of each
+/// run, so a replication loop ([`crate::metrics::run_network_summary`]
+/// driven by a sweep worker) stops paying per-run allocation entirely.
+/// Output is bit-identical to a fresh-allocation run by construction:
+/// nothing read by the simulation survives the reset.
+#[derive(Debug, Default)]
+pub struct NetArena {
+    ev: EventQueue,
+    states: Vec<SourceState>,
+    /// Per-hop FIFO of `flow | (marked << 31)` words, head in service.
+    fifos: Vec<VecDeque<u32>>,
+    hops: Vec<HopState>,
+    averagers: Vec<QueueAverager>,
+    pub(crate) trace_t: Vec<f64>,
+    /// `trace_q[hop][sample]`, reused across runs.
+    pub(crate) trace_q: Vec<Vec<f64>>,
+    /// Flattened control trace, stride = flow count (row per sample).
+    pub(crate) trace_ctl: Vec<f64>,
+}
+
+impl NetArena {
+    /// Fresh, empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear every buffer (keeping capacity) and size it for a run over
+    /// `k` hops with the given flows and expected sample count.
+    fn reset(&mut self, k: usize, flows: &[FlowSpec], n_samples: usize, trace: TraceMode) {
+        self.ev.clear();
+        self.states.clear();
+        self.states
+            .extend(flows.iter().map(|f| f.source.initial_state()));
+        self.fifos.truncate(k);
+        for f in &mut self.fifos {
+            f.clear();
+        }
+        self.fifos.resize_with(k, VecDeque::new);
+        self.hops.clear();
+        self.hops.resize(k, HopState::default());
+        self.averagers.clear();
+        self.averagers.resize_with(k, || QueueAverager::new(0.0));
+        self.trace_t.clear();
+        self.trace_q.truncate(k);
+        for q in &mut self.trace_q {
+            q.clear();
+        }
+        self.trace_q.resize_with(k, Vec::new);
+        self.trace_ctl.clear();
+        if trace != TraceMode::Off {
+            self.trace_t.reserve(n_samples);
+            for q in &mut self.trace_q {
+                q.reserve(n_samples);
+            }
+            self.trace_ctl.reserve(n_samples * flows.len());
+        }
+    }
+}
+
+/// Read-only per-flow hot fields, extracted once per run from the fat
+/// [`SourceSpec`] so each event pays one bounds check and one cache
+/// line.
+#[derive(Debug, Clone, Copy)]
+struct FlowHot {
+    route: Route,
+    prop_delay: f64,
+    q_hat: f64,
+    /// Window-like (window/DECbit): gets acks, reacts to drops.
+    acked: bool,
+    decbit: bool,
+}
+
+/// Read-only per-hop hot fields, extracted once per run from
+/// [`Link`] / [`FaultConfig`].
+#[derive(Debug, Clone, Copy)]
+struct HopHot {
+    loss_prob: f64,
+    buffer: Option<u64>,
+    mu: f64,
+    /// `1.0 / mu` (the deterministic service time).
+    det_service: f64,
+    expo: bool,
+}
+
+/// Per-hop dynamic state, packed into one struct so an event touches a
+/// single cache line instead of five parallel arrays.
+#[derive(Debug, Clone, Copy, Default)]
+struct HopState {
+    /// Packets in system (queue + the one in service).
+    q_len: u64,
+    /// Packets that completed service after warm-up.
+    served: u64,
+    /// Time-weighted queue accumulation after warm-up.
+    area: f64,
+    /// Instant of the last `q_len` change (clamped to warm-up).
+    last_change: f64,
+    /// Whether a departure is scheduled for this hop.
+    busy: bool,
+}
+
+/// Pack a FIFO word (`flow` must fit in 31 bits, checked at validate).
+#[inline]
+fn fifo_word(flow: usize, marked: bool) -> u32 {
+    flow as u32 | (u32::from(marked) << 31)
+}
+
+/// Unpack a FIFO word back into `(flow, marked)`.
+#[inline]
+fn fifo_flow_marked(word: u32) -> (usize, bool) {
+    ((word & 0x7fff_ffff) as usize, word >> 31 == 1)
+}
+
 /// Run a network simulation: every flow crosses its route through the
 /// shared deterministic [`EventQueue`].
 ///
@@ -283,17 +482,71 @@ impl NetResult {
 /// lossless all-window topology it reproduces the legacy `run_tandem`
 /// counters (pinned by `tests/engine_equivalence.rs`).
 ///
+/// Allocates a fresh [`NetArena`] per call; use [`run_network_in`] to
+/// amortise the scratch state over many runs.
+///
 /// # Errors
 /// [`NumericsError::InvalidParameter`] for an empty topology or flow
 /// list, non-positive rates/times, routes out of range, or `loss_prob`
 /// outside [0, 1).
-#[allow(clippy::too_many_lines)]
 pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> {
+    run_network_in(&mut NetArena::new(), config, flows)
+}
+
+/// [`run_network`] against caller-owned scratch state. The arena is
+/// fully reset first, so the output is identical to a fresh run; what
+/// the reuse buys is zero per-run allocation for everything except the
+/// returned [`NetResult`] (and, under [`TraceMode::Full`], its traces).
+///
+/// # Errors
+/// See [`run_network`].
+pub fn run_network_in(
+    arena: &mut NetArena,
+    config: &NetConfig,
+    flows: &[FlowSpec],
+) -> Result<NetResult> {
+    run_network_core(arena, config, flows, config.trace)
+}
+
+/// The one event loop, parameterised over the effective trace mode
+/// (callers inside the crate may override `config.trace`, e.g. the
+/// summary fast path forcing [`TraceMode::Summary`]).
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run_network_core(
+    arena: &mut NetArena,
+    config: &NetConfig,
+    flows: &[FlowSpec],
+    trace: TraceMode,
+) -> Result<NetResult> {
     config.validate(flows)?;
     let k = config.topology.len();
+    let n_flows = flows.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut ev = EventQueue::new();
-    let mut states: Vec<SourceState> = flows.iter().map(|f| f.source.initial_state()).collect();
+
+    // Sample schedule: t_k = k·sample_interval for every k with
+    // k·Δ ≤ t_end, computed as fresh multiples (no `t += Δ` drift); see
+    // the relative+absolute tolerance note in the engine history.
+    let sample_quotient = config.t_end / config.sample_interval;
+    let last_sample_index = (sample_quotient * (1.0 + 1e-12) + 1e-9).floor() as u64;
+
+    arena.reset(k, flows, last_sample_index as usize + 1, trace);
+    // Move the scratch buffers into owned locals for the duration of
+    // the loop — indexing through `&mut arena.field` keeps the Vec
+    // headers behind a pointer and costs ~25% of the whole run; owned
+    // locals let the compiler keep them in registers. Everything moves
+    // back into the arena before returning so capacity is still reused.
+    let mut ev = std::mem::take(&mut arena.ev);
+    let mut states = std::mem::take(&mut arena.states);
+    let mut fifos = std::mem::take(&mut arena.fifos);
+    let mut hops = std::mem::take(&mut arena.hops);
+    let mut averagers = std::mem::take(&mut arena.averagers);
+    let mut trace_t = std::mem::take(&mut arena.trace_t);
+    let mut trace_q = std::mem::take(&mut arena.trace_q);
+    let mut trace_ctl = std::mem::take(&mut arena.trace_ctl);
+    for h in hops.iter_mut() {
+        h.last_change = config.warmup;
+    }
+
     let mut stats: Vec<NetFlowStats> = flows
         .iter()
         .map(|f| NetFlowStats {
@@ -302,15 +555,72 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
         })
         .collect();
 
-    // Per-hop queue state: FIFO of (flow, marked) with head in service.
-    let mut fifos: Vec<VecDeque<(usize, bool)>> = vec![VecDeque::new(); k];
-    let mut q_len = vec![0u64; k];
-    let mut server_busy = vec![false; k];
-    let mut served = vec![0u64; k];
+    // Dense per-flow / per-hop hot fields: the event loop reads these
+    // once or more per packet event, and pulling them out of the fat
+    // `SourceSpec` / `Link` enums into one compact struct per flow/hop
+    // turns several bounds-checked array reads per event into a single
+    // cache-line access. Values and arithmetic are exactly what the enum
+    // accessors produce, so results are bit-identical (the deterministic
+    // service branch evaluated `1.0 / mu` per event; computing it once
+    // per hop is the identical operation, hence identical bits).
+    let flow_hot: Vec<FlowHot> = flows
+        .iter()
+        .map(|f| FlowHot {
+            route: f.route,
+            prop_delay: f.source.prop_delay(),
+            q_hat: f.source.q_hat(),
+            acked: matches!(
+                f.source,
+                SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
+            ),
+            decbit: matches!(f.source, SourceSpec::Decbit { .. }),
+        })
+        .collect();
+    let hop_hot: Vec<HopHot> = config
+        .topology
+        .links
+        .iter()
+        .enumerate()
+        .map(|(h, l)| HopHot {
+            loss_prob: self_loss(&config.faults, h),
+            buffer: l.buffer,
+            mu: l.mu,
+            det_service: 1.0 / l.mu,
+            expo: l.service == Service::Exponential,
+        })
+        .collect();
 
-    // Per-hop time-weighted queue accumulation after warm-up.
-    let mut area = vec![0.0f64; k];
-    let mut last_change = vec![config.warmup; k];
+    // Side lanes for the *per-packet* event streams with at most one
+    // pending instance: the sampling clock (lane 0), each hop's next
+    // departure (1 + hop), and each rate/on-off flow's self-rescheduling
+    // SendPacket chain. They merge against the heap at pop time instead
+    // of paying sifts — roughly half of all events in a typical run —
+    // and still consume sequence numbers exactly as pushed events
+    // would, keeping the order bit-identical to the historical
+    // all-in-heap schedule. Everything else stays in the heap: acks,
+    // arrivals and feedback can have many instances in flight, and the
+    // low-rate Observe/Toggle chains are not worth widening the lane
+    // rescan that every high-rate pop pays. Lanes are allocated only
+    // for the chains that exist (a window flow has none).
+    let mut lane_count = 1 + k;
+    let mut alloc_lane = |cond: bool| {
+        if cond {
+            lane_count += 1;
+            lane_count - 1
+        } else {
+            usize::MAX
+        }
+    };
+    let lane_send: Vec<usize> = flows
+        .iter()
+        .map(|f| {
+            alloc_lane(matches!(
+                f.source,
+                SourceSpec::Rate { .. } | SourceSpec::OnOff { .. }
+            ))
+        })
+        .collect();
+    ev.set_lane_count(lane_count);
 
     // Bootstrap events (flow order; identical schedule to the legacy
     // engines so the shims stay bit-identical).
@@ -319,11 +629,11 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
             SourceSpec::Rate {
                 update_interval, ..
             } => {
-                ev.push(0.0, EventKind::SendPacket { flow: i });
+                ev.schedule_lane(lane_send[i], 0.0, EventKind::SendPacket { flow: i });
                 ev.push(*update_interval, EventKind::Observe { flow: i });
             }
             SourceSpec::OnOff { .. } => {
-                ev.push(0.0, EventKind::SendPacket { flow: i });
+                ev.schedule_lane(lane_send[i], 0.0, EventKind::SendPacket { flow: i });
                 if let SourceState::OnOff { chain_alive, .. } = &mut states[i] {
                     *chain_alive = true;
                 }
@@ -358,42 +668,37 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
             }
         }
     }
-    ev.push(0.0, EventKind::Sample);
-    // Sample schedule: t_k = k·sample_interval for every k with
-    // k·Δ ≤ t_end, computed as fresh multiples (no `t += Δ` drift); see
-    // the relative+absolute tolerance note in the engine history.
-    let sample_quotient = config.t_end / config.sample_interval;
-    let last_sample_index = (sample_quotient * (1.0 + 1e-12) + 1e-9).floor() as u64;
+    // The sampling clock starts at t = 0 and schedules its successors
+    // from inside the Sample arm. Off mode schedules no samples at all:
+    // sampling draws no randomness and touches no dynamic state, so the
+    // counters cannot move.
+    if trace != TraceMode::Off {
+        ev.schedule_sample(0.0);
+    }
     let mut next_sample_index: u64 = 0;
 
-    // Router-side averaged queue for DECbit marking, one per hop.
-    let mut averagers: Vec<QueueAverager> = (0..k).map(|_| QueueAverager::new(0.0)).collect();
     let any_decbit = flows
         .iter()
         .any(|f| matches!(f.source, SourceSpec::Decbit { .. }));
 
-    let service_time = |rng: &mut StdRng, link: &Link| -> f64 {
-        match link.service {
-            Service::Deterministic => 1.0 / link.mu,
-            Service::Exponential => {
-                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                -u.ln() / link.mu
-            }
+    let service_time = |rng: &mut StdRng, h: &HopHot| -> f64 {
+        if h.expo {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            -u.ln() / h.mu
+        } else {
+            h.det_service
         }
     };
     // One-way return delay from `hop` back to the flow's source (the
     // packet crossed `hop - first + 1` propagation segments to get
     // there). For a 1-hop route this is exactly `prop_delay`.
-    let back_delay =
-        |f: &FlowSpec, hop: usize| (hop - f.route.first + 1) as f64 * f.source.prop_delay();
+    let back_delay = |f: &FlowHot, hop: usize| (hop - f.route.first + 1) as f64 * f.prop_delay;
 
-    let mut trace_t = Vec::new();
-    let mut trace_q: Vec<Vec<f64>> = vec![Vec::new(); k];
-    let mut trace_ctl: Vec<Vec<f64>> = Vec::new();
-
+    let warmup = config.warmup;
+    let t_end = config.t_end;
     while let Some(event) = ev.pop() {
         let t = event.t;
-        if t > config.t_end {
+        if t > t_end {
             break;
         }
         match event.kind {
@@ -407,14 +712,14 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
                     SourceState::Rate { lambda },
                 ) => {
                     let lam = lambda.max(1e-9);
-                    if t >= config.warmup {
+                    if t >= warmup {
                         stats[flow].sent += 1;
                     }
                     ev.push(
                         t + prop_delay,
                         EventKind::Arrival {
                             flow,
-                            hop: flows[flow].route.first,
+                            hop: flow_hot[flow].route.first,
                             marked: false,
                         },
                     );
@@ -424,7 +729,7 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
                     } else {
                         1.0 / lam
                     };
-                    ev.push(t + gap, EventKind::SendPacket { flow });
+                    ev.schedule_lane(lane_send[flow], t + gap, EventKind::SendPacket { flow });
                 }
                 (
                     SourceSpec::OnOff {
@@ -440,19 +745,20 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
                         *chain_alive = false;
                         continue;
                     }
-                    if t >= config.warmup {
+                    if t >= warmup {
                         stats[flow].sent += 1;
                     }
                     ev.push(
                         t + prop_delay,
                         EventKind::Arrival {
                             flow,
-                            hop: flows[flow].route.first,
+                            hop: flow_hot[flow].route.first,
                             marked: false,
                         },
                     );
                     let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                    ev.push(
+                    ev.schedule_lane(
+                        lane_send[flow],
                         t - u.ln() / peak_rate.max(1e-9),
                         EventKind::SendPacket { flow },
                     );
@@ -485,7 +791,8 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
                         unreachable!()
                     };
                     let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                    ev.push(
+                    ev.schedule_lane(
+                        lane_send[flow],
                         t - u.ln() / peak_rate.max(1e-9),
                         EventKind::SendPacket { flow },
                     );
@@ -497,38 +804,33 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
                 );
             }
             EventKind::Arrival { flow, hop, marked } => {
+                let fh = flow_hot[flow];
+                let hh = hop_hot[hop];
                 // Random link loss (per-hop fault injection).
-                let loss_prob = self_loss(&config.faults, hop);
-                if loss_prob > 0.0 && rng.gen::<f64>() < loss_prob {
-                    if t >= config.warmup {
+                if hh.loss_prob > 0.0 && rng.gen::<f64>() < hh.loss_prob {
+                    if t >= warmup {
                         stats[flow].dropped += 1;
                     }
-                    if matches!(
-                        flows[flow].source,
-                        SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
-                    ) {
+                    if fh.acked {
                         // Drop-as-signal: a marked ack returns from the
                         // loss point so the source reacts.
                         ev.push(
-                            t + back_delay(&flows[flow], hop),
+                            t + back_delay(&fh, hop),
                             EventKind::Ack { flow, marked: true },
                         );
                     }
                     continue;
                 }
-                if let Some(cap) = config.topology.links[hop].buffer {
-                    if q_len[hop] >= cap {
-                        if t >= config.warmup {
+                if let Some(cap) = hh.buffer {
+                    if hops[hop].q_len >= cap {
+                        if t >= warmup {
                             stats[flow].dropped += 1;
                         }
                         // A dropped packet of a window flow still frees
                         // its in-flight slot (drop-as-mark).
-                        if matches!(
-                            flows[flow].source,
-                            SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
-                        ) {
+                        if fh.acked {
                             ev.push(
-                                t + back_delay(&flows[flow], hop),
+                                t + back_delay(&fh, hop),
                                 EventKind::Ack { flow, marked: true },
                             );
                         }
@@ -538,65 +840,67 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
                 // Mark policy at this hop, OR-ed with marks from hops
                 // already crossed: instantaneous queue for Rate/Window
                 // flows, regeneration-cycle averaged queue for DECbit.
+                let hs = &mut hops[hop];
                 let marked = marked
-                    || if matches!(flows[flow].source, SourceSpec::Decbit { .. }) {
-                        averagers[hop].congestion_bit(t, flows[flow].source.q_hat())
+                    || if fh.decbit {
+                        averagers[hop].congestion_bit(t, fh.q_hat)
                     } else {
-                        q_len[hop] as f64 > flows[flow].source.q_hat()
+                        hs.q_len as f64 > fh.q_hat
                     };
-                if t >= config.warmup {
-                    area[hop] += q_len[hop] as f64 * (t - last_change[hop]);
-                    last_change[hop] = t;
+                if t >= warmup {
+                    hs.area += hs.q_len as f64 * (t - hs.last_change);
+                    hs.last_change = t;
                 } else {
-                    last_change[hop] = t.max(config.warmup);
+                    hs.last_change = t.max(warmup);
                 }
-                fifos[hop].push_back((flow, marked));
-                q_len[hop] += 1;
+                fifos[hop].push_back(fifo_word(flow, marked));
+                hs.q_len += 1;
                 if any_decbit {
-                    averagers[hop].observe(t, q_len[hop] as f64);
+                    let q = hs.q_len;
+                    averagers[hop].observe(t, q as f64);
                 }
-                if !server_busy[hop] {
-                    server_busy[hop] = true;
-                    ev.push(
-                        t + service_time(&mut rng, &config.topology.links[hop]),
+                let hs = &mut hops[hop];
+                if !hs.busy {
+                    hs.busy = true;
+                    ev.schedule_lane(
+                        1 + hop,
+                        t + service_time(&mut rng, &hh),
                         EventKind::Departure { hop },
                     );
                 }
             }
             EventKind::Departure { hop } => {
-                let (flow, marked) = fifos[hop].pop_front().expect("departure from empty queue");
-                let exits = hop == flows[flow].route.last;
-                if t >= config.warmup {
-                    area[hop] += q_len[hop] as f64 * (t - last_change[hop]);
-                    last_change[hop] = t;
-                    served[hop] += 1;
+                let (flow, marked) =
+                    fifo_flow_marked(fifos[hop].pop_front().expect("departure from empty queue"));
+                let fh = flow_hot[flow];
+                let exits = hop == fh.route.last;
+                let hs = &mut hops[hop];
+                if t >= warmup {
+                    hs.area += hs.q_len as f64 * (t - hs.last_change);
+                    hs.last_change = t;
+                    hs.served += 1;
                     if exits {
                         stats[flow].delivered += 1;
                     }
                 } else {
-                    last_change[hop] = t.max(config.warmup);
+                    hs.last_change = t.max(warmup);
                 }
-                q_len[hop] -= 1;
+                hs.q_len -= 1;
+                let q_now = hs.q_len;
                 if any_decbit {
-                    averagers[hop].observe(t, q_len[hop] as f64);
+                    averagers[hop].observe(t, q_now as f64);
                 }
                 if exits {
                     // Leaves the network; window flows get an ack across
                     // the whole return path.
-                    if matches!(
-                        flows[flow].source,
-                        SourceSpec::Window { .. } | SourceSpec::Decbit { .. }
-                    ) {
-                        ev.push(
-                            t + back_delay(&flows[flow], hop),
-                            EventKind::Ack { flow, marked },
-                        );
+                    if fh.acked {
+                        ev.push(t + back_delay(&fh, hop), EventKind::Ack { flow, marked });
                     }
                 } else {
                     // Forward to the next hop after one hop delay,
                     // carrying the marks collected so far.
                     ev.push(
-                        t + flows[flow].source.prop_delay(),
+                        t + fh.prop_delay,
                         EventKind::Arrival {
                             flow,
                             hop: hop + 1,
@@ -604,13 +908,14 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
                         },
                     );
                 }
-                if q_len[hop] > 0 {
-                    ev.push(
-                        t + service_time(&mut rng, &config.topology.links[hop]),
+                if q_now > 0 {
+                    ev.schedule_lane(
+                        1 + hop,
+                        t + service_time(&mut rng, &hop_hot[hop]),
                         EventKind::Departure { hop },
                     );
                 } else {
-                    server_busy[hop] = false;
+                    hops[hop].busy = false;
                 }
             }
             EventKind::Observe { flow } => {
@@ -622,13 +927,13 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
                 };
                 // The path bottleneck: the most congested queue on the
                 // flow's route (a 1-hop route reads its only queue).
-                let route = flows[flow].route;
+                let route = flow_hot[flow].route;
                 let observed_queue = (route.first..=route.last)
-                    .map(|h| q_len[h])
+                    .map(|h| hops[h].q_len)
                     .max()
                     .unwrap_or(0);
                 ev.push(
-                    t + back_delay(&flows[flow], route.last),
+                    t + back_delay(&flow_hot[flow], route.last),
                     EventKind::Feedback {
                         flow,
                         observed_queue,
@@ -675,14 +980,14 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
                 let mut to_send = allowed.saturating_sub(*in_flight_ref);
                 while to_send > 0 {
                     *in_flight_ref += 1;
-                    if t >= config.warmup {
+                    if t >= warmup {
                         stats[flow].sent += 1;
                     }
                     ev.push(
-                        t + flows[flow].source.prop_delay(),
+                        t + flow_hot[flow].prop_delay,
                         EventKind::Arrival {
                             flow,
-                            hop: flows[flow].route.first,
+                            hop: flow_hot[flow].route.first,
                             marked: false,
                         },
                     );
@@ -692,25 +997,20 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
             EventKind::Sample => {
                 trace_t.push(t);
                 for hop in 0..k {
-                    trace_q[hop].push(q_len[hop] as f64);
+                    trace_q[hop].push(hops[hop].q_len as f64);
                 }
-                trace_ctl.push(
-                    states
-                        .iter()
-                        .map(|s| match s {
-                            SourceState::Rate { lambda } => *lambda,
-                            SourceState::Window { window, .. } => *window,
-                            SourceState::Decbit { ctl, .. } => ctl.window(),
-                            SourceState::OnOff { on, .. } => f64::from(u8::from(*on)),
-                        })
-                        .collect(),
-                );
+                trace_ctl.extend(states.iter().map(|s| match s {
+                    SourceState::Rate { lambda } => *lambda,
+                    SourceState::Window { window, .. } => *window,
+                    SourceState::Decbit { ctl, .. } => ctl.window(),
+                    SourceState::OnOff { on, .. } => f64::from(u8::from(*on)),
+                }));
                 next_sample_index += 1;
                 if next_sample_index <= last_sample_index {
                     // The multiple can round a hair past t_end; clamp so
                     // the final sample still lands inside the horizon.
-                    let tk = (next_sample_index as f64 * config.sample_interval).min(config.t_end);
-                    ev.push(tk, EventKind::Sample);
+                    let tk = (next_sample_index as f64 * config.sample_interval).min(t_end);
+                    ev.schedule_sample(tk);
                 }
             }
         }
@@ -720,23 +1020,47 @@ pub fn run_network(config: &NetConfig, flows: &[FlowSpec]) -> Result<NetResult> 
     let window = config.t_end - config.warmup;
     let mut mean_queue = Vec::with_capacity(k);
     let mut utilization = Vec::with_capacity(k);
-    for hop in 0..k {
-        let mut a = area[hop];
-        if config.t_end > last_change[hop] {
-            a += q_len[hop] as f64 * (config.t_end - last_change[hop]);
+    for (hop, hs) in hops.iter().enumerate() {
+        let mut a = hs.area;
+        if config.t_end > hs.last_change {
+            a += hs.q_len as f64 * (config.t_end - hs.last_change);
         }
         mean_queue.push(a / window);
-        utilization.push(served[hop] as f64 / window / config.topology.links[hop].mu);
+        utilization.push(hs.served as f64 / window / config.topology.links[hop].mu);
     }
     for f in &mut stats {
         f.throughput = f.delivered as f64 / window;
     }
     let total_throughput: f64 = stats.iter().map(|f| f.throughput).sum();
     let capacity: f64 = config.topology.links.iter().map(|l| l.mu).sum();
-    Ok(NetResult {
+    // Full mode hands the trace buffers to the caller (the arena grows
+    // fresh ones next run); Summary leaves them in the arena for
+    // `run_network_summary`; Off recorded nothing.
+    let (out_t, out_q, out_ctl) = if trace == TraceMode::Full {
+        (
+            std::mem::take(&mut trace_t),
+            std::mem::take(&mut trace_q),
+            trace_ctl.chunks(n_flows).map(<[f64]>::to_vec).collect(),
+        )
+    } else {
+        (Vec::new(), Vec::new(), Vec::new())
+    };
+    // Return the scratch buffers (and their capacity) to the arena in
+    // one struct assignment.
+    *arena = NetArena {
+        ev,
+        states,
+        fifos,
+        hops,
+        averagers,
         trace_t,
         trace_q,
         trace_ctl,
+    };
+    Ok(NetResult {
+        trace_t: out_t,
+        trace_q: out_q,
+        trace_ctl: out_ctl,
         flows: stats,
         mean_queue,
         total_throughput,
@@ -781,6 +1105,7 @@ mod tests {
             warmup: 12.0,
             sample_interval: 0.1,
             seed: 17,
+            trace: TraceMode::Full,
         }
     }
 
@@ -935,10 +1260,91 @@ mod tests {
         assert!(run_network(&cfg, &flows).is_err());
         // Empty flows.
         assert!(run_network(&net(2), &[]).is_err());
+        // Non-finite timing parameters (the hot-path finiteness check
+        // is debug-only, so validation must catch these up front).
+        let nan_rate = FlowSpec::single_hop(SourceSpec::Rate {
+            law: LinearExp::new(1.0, 0.5, 10.0),
+            lambda0: 10.0,
+            update_interval: 0.1,
+            prop_delay: f64::NAN,
+            poisson: true,
+        });
+        assert!(run_network(&net(1), &[nan_rate]).is_err());
+        let inf_window = FlowSpec::single_hop(SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, f64::INFINITY, 10.0),
+            w0: 2.0,
+        });
+        assert!(run_network(&net(1), &[inf_window]).is_err());
+        let bad_interval = FlowSpec::single_hop(SourceSpec::Rate {
+            law: LinearExp::new(1.0, 0.5, 10.0),
+            lambda0: 10.0,
+            update_interval: 0.0,
+            prop_delay: 0.01,
+            poisson: true,
+        });
+        assert!(run_network(&net(1), &[bad_interval]).is_err());
         // Bad warmup.
         let mut cfg = net(2);
         cfg.warmup = cfg.t_end;
         assert!(run_network(&cfg, &flows).is_err());
+    }
+
+    #[test]
+    fn trace_modes_do_not_move_counters() {
+        let mut cfg = net(2);
+        let flows = vec![window_flow(Route::full(2)), window_flow(Route::single(1))];
+        let full = run_network(&cfg, &flows).unwrap();
+        cfg.trace = TraceMode::Off;
+        let off = run_network(&cfg, &flows).unwrap();
+        cfg.trace = TraceMode::Summary;
+        let summary = run_network(&cfg, &flows).unwrap();
+        assert!(!full.trace_t.is_empty());
+        assert!(off.trace_t.is_empty() && off.trace_q.is_empty() && off.trace_ctl.is_empty());
+        assert!(
+            summary.trace_t.is_empty(),
+            "Summary keeps traces in the arena"
+        );
+        for other in [&off, &summary] {
+            for (a, b) in full.flows.iter().zip(&other.flows) {
+                assert_eq!(a.sent, b.sent);
+                assert_eq!(a.delivered, b.delivered);
+                assert_eq!(a.dropped, b.dropped);
+                assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+            }
+            let full_mq: Vec<u64> = full.mean_queue.iter().map(|q| q.to_bits()).collect();
+            let other_mq: Vec<u64> = other.mean_queue.iter().map(|q| q.to_bits()).collect();
+            assert_eq!(full_mq, other_mq);
+            assert_eq!(
+                full.total_throughput.to_bits(),
+                other.total_throughput.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical() {
+        // Run A on a fresh arena, dirty the arena with a differently
+        // shaped run, then re-run A: every number must come out
+        // identical to the fresh-arena result.
+        let cfg = net(3);
+        let flows = vec![window_flow(Route::full(3)), window_flow(Route::single(1))];
+        let mut arena = NetArena::new();
+        let fresh = run_network_in(&mut arena, &cfg, &flows).unwrap();
+        let other_cfg = net(1);
+        let other_flows = vec![window_flow(Route::single(0))];
+        run_network_in(&mut arena, &other_cfg, &other_flows).unwrap();
+        let reused = run_network_in(&mut arena, &cfg, &flows).unwrap();
+        assert_eq!(fresh.trace_t, reused.trace_t);
+        assert_eq!(fresh.trace_q, reused.trace_q);
+        assert_eq!(fresh.trace_ctl, reused.trace_ctl);
+        for (a, b) in fresh.flows.iter().zip(&reused.flows) {
+            assert_eq!(a.sent, b.sent);
+            assert_eq!(a.delivered, b.delivered);
+            assert_eq!(a.dropped, b.dropped);
+        }
+        let fresh_mq: Vec<u64> = fresh.mean_queue.iter().map(|q| q.to_bits()).collect();
+        let reused_mq: Vec<u64> = reused.mean_queue.iter().map(|q| q.to_bits()).collect();
+        assert_eq!(fresh_mq, reused_mq);
     }
 
     #[test]

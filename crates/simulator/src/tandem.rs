@@ -13,7 +13,7 @@
 //! DECbit marking) is available by using [`crate::network`] directly.
 
 use crate::engine::Service;
-use crate::network::{run_network, FlowSpec, Link, NetConfig, Route, Topology};
+use crate::network::{run_network, FlowSpec, Link, NetConfig, Route, Topology, TraceMode};
 use crate::source::SourceSpec;
 use fpk_congestion::WindowAimd;
 use fpk_numerics::Result;
@@ -81,9 +81,10 @@ pub struct TandemConfig {
 
 impl TandemConfig {
     /// The equivalent [`NetConfig`]: one infinite-buffer link per μ, no
-    /// faults. The legacy tandem recorded no traces, so the shim samples
-    /// only at the endpoints (`sample_interval = t_end`) — sampling
-    /// draws no randomness, so the trace cadence cannot perturb the run.
+    /// faults. The legacy tandem recorded no traces, so the shim runs
+    /// with [`TraceMode::Off`] (and endpoint-only sampling cadence) —
+    /// sampling draws no randomness and touches no dynamic state, so
+    /// neither choice can perturb the run's counters.
     #[must_use]
     pub fn to_net_config(&self) -> NetConfig {
         let service = if self.exponential_service {
@@ -108,6 +109,7 @@ impl TandemConfig {
             warmup: self.warmup,
             sample_interval: if self.t_end > 0.0 { self.t_end } else { 1.0 },
             seed: self.seed,
+            trace: TraceMode::Off,
         }
     }
 }

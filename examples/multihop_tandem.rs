@@ -19,6 +19,7 @@ use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::sim::engine::{run_with_faults, FaultConfig};
 use fpk_repro::sim::{
     run, run_network, FlowSpec, Link, NetConfig, Route, Service, SimConfig, SourceSpec, Topology,
+    TraceMode,
 };
 
 fn main() {
@@ -50,6 +51,7 @@ fn main() {
         warmup: 60.0,
         sample_interval: 0.5,
         seed: 71,
+        trace: TraceMode::Full,
     };
     let out = run_network(&net, &flows).expect("tandem");
     println!(
@@ -171,6 +173,7 @@ fn main() {
         warmup: 40.0,
         sample_interval: 0.5,
         seed: 73,
+        trace: TraceMode::Full,
     };
     let flows = vec![
         jrj(20.0, Route::full(3)), // the long flow crossing everything

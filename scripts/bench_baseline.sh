@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Run the five criterion benches in quick mode and merge their results
+# Run the six criterion benches in quick mode and merge their results
 # into one machine-readable baseline, BENCH_baseline.json.
 # `scenario_grid` times the fpk-scenarios sweep runner serial vs
-# parallel, so future PRs can track runner overhead and speedup.
+# parallel (the parallel row is always present, even on 1-CPU hosts, so
+# the serial-vs-parallel speedup is tracked across PRs), and
+# `event_queue` pits the hand-rolled indexed event heap against a
+# reference BinaryHeap.
 #
 # Quick mode (FPK_BENCH_QUICK=1, honoured by the vendored criterion —
 # see DESIGN.md §Vendoring) cuts per-sample time and sample counts hard:
@@ -19,7 +22,7 @@ out="${1:-BENCH_baseline.json}"
 lines="$(mktemp)"
 trap 'rm -f "$lines"' EXIT
 
-for bench in numerics fp_solver fluid_and_dde simulator scenario_grid; do
+for bench in numerics fp_solver fluid_and_dde simulator event_queue scenario_grid; do
     echo "== bench: $bench =="
     FPK_BENCH_QUICK=1 FPK_BENCH_JSON="$lines" \
         cargo bench -q -p fpk-bench --bench "$bench"

@@ -18,7 +18,7 @@ use fpk_repro::congestion::decbit::DecbitPolicy;
 use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::sim::{
     run_network, run_tandem, run_with_faults, FaultConfig, FlowSpec, NetConfig, Route, Service,
-    SimConfig, SourceSpec, TandemConfig, TandemFlow, Topology,
+    SimConfig, SourceSpec, TandemConfig, TandemFlow, Topology, TraceMode,
 };
 
 fn mixed_sources() -> Vec<SourceSpec> {
@@ -222,6 +222,7 @@ fn shim_matches_run_network_single_link() {
         warmup: cfg.warmup,
         sample_interval: cfg.sample_interval,
         seed: cfg.seed,
+        trace: TraceMode::Full,
     };
     let flows: Vec<FlowSpec> = mixed_sources()
         .into_iter()

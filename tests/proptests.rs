@@ -14,16 +14,26 @@
 //! * the scenario layer's seed-derivation contract (DESIGN §3b):
 //!   reordering axis *values* only moves seeds between the cells whose
 //!   positions changed, and growing the replication count R never
-//!   perturbs the first R−1 replication seeds.
+//!   perturbs the first R−1 replication seeds;
+//! * the DES engine's hot-path contracts (DESIGN §"engine hot path"):
+//!   the hand-rolled indexed event queue pops any random stream in the
+//!   exact `(t, seq)` order of a reference `BinaryHeap`, and
+//!   `TraceMode::Off` runs produce bit-identical counters (and
+//!   `run_seeded` bit-identical summaries) to `TraceMode::Full` runs.
 
 use fpk_repro::congestion::theory::{sliding_share, ReturnMap};
-use fpk_repro::congestion::LinearExp;
+use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::fluid::single::{simulate, FluidParams};
 use fpk_repro::fpk::fv::{advect_sweep, diffuse_crank_nicolson, Limiter};
 use fpk_repro::numerics::dde::DdeProblem;
 use fpk_repro::scenarios::{Axis, Ensemble, Scenario, Sweep};
-use fpk_repro::sim::{Service, SimConfig};
+use fpk_repro::sim::event::{Event, EventKind, EventQueue};
+use fpk_repro::sim::{
+    run_network, summarize_network, FlowSpec, Link, NetConfig, Route, Service, SimConfig,
+    SourceSpec, Topology, TraceMode,
+};
 use proptest::prelude::*;
+use std::collections::BinaryHeap;
 
 /// A scenario whose contents never run — the seed-contract tests only
 /// inspect the grid expansion, not simulation output.
@@ -227,6 +237,148 @@ proptest! {
         }).unwrap();
         prop_assert!(traj.q.iter().all(|&q| q >= 0.0));
         prop_assert!(traj.lambda.iter().all(|&l| l >= 0.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_event_queue_matches_reference_heap(
+        ops in prop::collection::vec((0.0f64..100.0, 0usize..4), 1..400),
+    ) {
+        // Random interleavings of pushes, pops and merged-lane
+        // schedules, with times quantised to quarter units so
+        // equal-time ties are frequent: the 4-ary indexed heap plus its
+        // side-lane merge must emit the exact `(t, seq)` sequence of a
+        // reference `BinaryHeap<Event>` holding *all* events and using
+        // the documented reference `Ord`.
+        let mut fast = EventQueue::new();
+        let mut reference: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        // The lane contract allows one pending event per lane; the
+        // sample lane (lane 0) is modelled here exactly as the engine
+        // uses it.
+        let mut sample_pending = false;
+        for &(t_raw, op) in &ops {
+            let t = (t_raw * 4.0).round() * 0.25;
+            match op {
+                2 => {
+                    let a = fast.pop();
+                    if matches!(a, Some(Event { kind: EventKind::Sample, .. })) {
+                        sample_pending = false;
+                    }
+                    prop_assert_eq!(a, reference.pop());
+                }
+                3 if !sample_pending => {
+                    fast.schedule_sample(t);
+                    reference.push(Event { t, seq, kind: EventKind::Sample });
+                    seq += 1;
+                    sample_pending = true;
+                }
+                _ => {
+                    let kind = EventKind::Arrival { flow: op, hop: 0, marked: false };
+                    fast.push(t, kind);
+                    reference.push(Event { t, seq, kind });
+                    seq += 1;
+                }
+            }
+        }
+        loop {
+            let a = fast.pop();
+            let b = reference.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    // Fewer cases: every case is a pair of full DES runs.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn trace_modes_agree_bitwise(
+        seed_raw in 0usize..10_000,
+        mu in 30.0f64..120.0,
+        hops in 1usize..4,
+        w0 in 1.0f64..4.0,
+    ) {
+        // DESIGN §"engine hot path": the trace mode only controls what
+        // is recorded, never the dynamics. Off must reproduce Full's
+        // counters bit for bit, and the arena summary fast path must
+        // reproduce `summarize_network` of the Full run bit for bit.
+        let seed = seed_raw as u64;
+        let flows = vec![
+            FlowSpec {
+                source: SourceSpec::Window {
+                    aimd: WindowAimd::new(1.0, 0.5, 0.05, 8.0),
+                    w0,
+                },
+                route: Route::full(hops),
+            },
+            FlowSpec {
+                source: SourceSpec::Rate {
+                    law: LinearExp::new(6.0, 0.5, 8.0),
+                    lambda0: 0.3 * mu,
+                    update_interval: 0.1,
+                    prop_delay: 0.01,
+                    poisson: true,
+                },
+                route: Route::single(0),
+            },
+        ];
+        let mk = |trace: TraceMode| NetConfig {
+            topology: Topology::uniform(
+                hops,
+                Link {
+                    mu,
+                    service: Service::Exponential,
+                    buffer: Some(30),
+                },
+            ),
+            faults: Vec::new(),
+            t_end: 6.0,
+            warmup: 1.0,
+            sample_interval: 0.1,
+            seed,
+            trace,
+        };
+        let full = run_network(&mk(TraceMode::Full), &flows).unwrap();
+        let off = run_network(&mk(TraceMode::Off), &flows).unwrap();
+        prop_assert!(off.trace_t.is_empty() && off.trace_q.is_empty() && off.trace_ctl.is_empty());
+        prop_assert_eq!(full.trace_t.len(), 61);
+        for (a, b) in full.flows.iter().zip(&off.flows) {
+            prop_assert_eq!(a.sent, b.sent);
+            prop_assert_eq!(a.delivered, b.delivered);
+            prop_assert_eq!(a.dropped, b.dropped);
+            prop_assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        }
+        let mq = |r: &fpk_repro::sim::NetResult| -> Vec<u64> {
+            r.mean_queue.iter().map(|q| q.to_bits()).collect()
+        };
+        prop_assert_eq!(mq(&full), mq(&off));
+        prop_assert_eq!(full.total_throughput.to_bits(), off.total_throughput.to_bits());
+
+        let reference = summarize_network(&full, 0.5).unwrap();
+        let mut arena = fpk_repro::sim::NetArena::new();
+        let fast =
+            fpk_repro::sim::run_network_summary(&mut arena, &mk(TraceMode::Full), &flows, 0.5)
+                .unwrap();
+        prop_assert_eq!(&fast.throughputs, &reference.throughputs);
+        prop_assert_eq!(fast.jain.to_bits(), reference.jain.to_bits());
+        prop_assert_eq!(fast.mean_queue.to_bits(), reference.mean_queue.to_bits());
+        prop_assert_eq!(fast.utilization.to_bits(), reference.utilization.to_bits());
+        prop_assert_eq!(fast.total_dropped, reference.total_dropped);
+        prop_assert_eq!(&fast.ctl_std, &reference.ctl_std);
+        let osc = |s: &fpk_repro::sim::RunSummary| {
+            s.queue_oscillation
+                .as_ref()
+                .map(|o| (o.amplitude.to_bits(), o.period.to_bits(), o.cycles))
+        };
+        prop_assert_eq!(osc(&fast), osc(&reference));
     }
 }
 

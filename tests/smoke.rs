@@ -13,7 +13,7 @@ use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::fpk::{Density, FpProblem, FpSolver};
 use fpk_repro::sim::{
     run, run_network, run_with_faults, FaultConfig, FlowSpec, Link, NetConfig, Route, Service,
-    SimConfig, SourceSpec, Topology,
+    SimConfig, SourceSpec, Topology, TraceMode,
 };
 
 fn short_config(seed: u64) -> SimConfig {
@@ -348,6 +348,7 @@ fn des_network_parking_lot_rate_sources_smoke() {
         warmup: 3.0,
         sample_interval: 0.1,
         seed: 41,
+        trace: TraceMode::Full,
     };
     let flows = vec![
         jrj(Route::full(3)),
