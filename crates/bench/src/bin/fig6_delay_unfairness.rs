@@ -61,7 +61,7 @@ fn main() {
     ));
 
     let ensemble = Ensemble::new(REPLICATIONS).expect("replications");
-    let rows: Vec<Row> = run_cells(&sweep, |cell| {
+    let rows: Vec<Row> = run_cells(&sweep, move |cell| {
         let r = cell.coords[0];
         let taus = [BASE_TAU, BASE_TAU * r];
 

@@ -87,7 +87,7 @@ fn main() {
     // Each cell: closed-form shares, the fluid ODE, and a packet-level
     // ensemble — evaluated in parallel across cells.
     let ensemble = Ensemble::new(REPLICATIONS).expect("replications");
-    let cases: Vec<Case> = run_cells(&sweep, |cell| {
+    let cases: Vec<Case> = run_cells(&sweep, move |cell| {
         let ci = cell.coords[0] as usize;
         let cfg = &configs[ci];
         let laws: Vec<LinearExp> = cfg

@@ -1,29 +1,51 @@
-//! The shared `results/<name>.json` artifact writer.
+//! The shared `results/<name>.json` artifact writer — and, for the
+//! sharded stress tier, the reader that merges partial sweep reports
+//! back together.
 //!
 //! Every experiment binary and sweep report funnels through this one
 //! implementation so artifact location and formatting stay uniform
-//! (`fpk_bench::write_json` delegates here).
+//! (`fpk_bench::write_json` delegates here). Shard artifacts carry the
+//! shard geometry in the *file name* (`<name>.shard<i>of<n>.json`),
+//! never in the JSON body, so a shard report's schema is byte-identical
+//! to an unsharded report's. The vendored `serde_json` writes floats in
+//! shortest-roundtrip form, so load → merge → re-serialise reproduces
+//! an unsharded report byte for byte.
 
-use serde::Serialize;
+use crate::ensemble::{EnsembleStats, Stat};
+use crate::exec::{AxisReport, CellReport, Shard, SweepReport};
+use fpk_numerics::Result;
+use serde::{Serialize, Value};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Where JSON artifacts are written: the `FPK_RESULTS_DIR` environment
 /// variable when set and non-empty, otherwise `results/` under the
 /// current working directory (the workspace root when run via
-/// `cargo run`); falls back to the current directory when the chosen
-/// directory cannot be created.
+/// `cargo run`).
+///
+/// # Panics
+/// Panics when the chosen directory cannot be created, naming the
+/// attempted path — silently scattering artifacts into the cwd would
+/// contradict [`write_json`]'s "fail loudly rather than record
+/// nothing" policy.
 #[must_use]
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("FPK_RESULTS_DIR")
         .ok()
         .filter(|d| !d.is_empty())
         .map_or_else(|| PathBuf::from("results"), PathBuf::from);
-    if fs::create_dir_all(&dir).is_ok() {
-        dir
-    } else {
-        PathBuf::from(".")
+    if let Err(e) = fs::create_dir_all(&dir) {
+        panic!(
+            "cannot create results directory {} (FPK_RESULTS_DIR override {}): {e}",
+            dir.display(),
+            if std::env::var_os("FPK_RESULTS_DIR").is_some() {
+                "active"
+            } else {
+                "not set"
+            }
+        );
     }
+    dir
 }
 
 /// Serialise `value` to `results/<name>.json` (pretty-printed) and
@@ -39,15 +61,179 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
     path
 }
 
+/// Write one shard's partial report to
+/// `<results dir>/<name>.shard<i>of<n>.json` and return the path. The
+/// body is an ordinary [`SweepReport`]; only the file name records the
+/// shard geometry.
+pub fn write_sweep_shard(report: &SweepReport, shard: Shard) -> PathBuf {
+    write_json(&shard.file_stem(&report.name), report)
+}
+
+/// Read a [`SweepReport`] (sharded or not) back from a JSON artifact.
+///
+/// # Panics
+/// Panics when the file cannot be read or does not parse as a sweep
+/// report, naming the path — resuming from a corrupt checkpoint must
+/// fail loudly, not merge garbage.
+#[must_use]
+pub fn load_sweep_report(path: &Path) -> SweepReport {
+    let body =
+        fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let value =
+        serde_json::from_str(&body).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+    sweep_report_from(&value, path)
+}
+
+/// Load the `count` shard files of sweep `name` from the results dir
+/// (see [`results_dir`]) and merge them into the full report.
+///
+/// # Errors
+/// Propagates [`SweepReport::merge`] validation (metadata drift,
+/// missing/duplicate cells).
+///
+/// # Panics
+/// Panics when a shard file is absent or unreadable (the checkpoint is
+/// incomplete — rerun the missing shard), naming the path.
+pub fn merge_sweep_shards(name: &str, count: usize) -> Result<SweepReport> {
+    let dir = results_dir();
+    let parts: Vec<SweepReport> = (0..count)
+        .map(|i| {
+            let shard = Shard { index: i, count };
+            load_sweep_report(&dir.join(format!("{}.json", shard.file_stem(name))))
+        })
+        .collect();
+    SweepReport::merge(parts)
+}
+
+// ---- Value → report mapping -------------------------------------------
+//
+// The vendored serde subset has no visitor-based Deserialize, so the
+// loader maps the parsed `serde::Value` tree by hand. Shape errors
+// panic with the offending path + field; see `load_sweep_report`.
+
+fn field<'a>(v: &'a Value, key: &str, path: &Path) -> &'a Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("parsing {}: missing field {key:?}", path.display()))
+}
+
+fn get_f64(v: &Value, key: &str, path: &Path) -> f64 {
+    field(v, key, path)
+        .as_f64()
+        .unwrap_or_else(|| panic!("parsing {}: field {key:?} is not a number", path.display()))
+}
+
+fn get_usize(v: &Value, key: &str, path: &Path) -> usize {
+    match *field(v, key, path) {
+        Value::UInt(u) => usize::try_from(u).ok(),
+        Value::Int(i) => usize::try_from(i).ok(),
+        _ => None,
+    }
+    .unwrap_or_else(|| panic!("parsing {}: field {key:?} is not an index", path.display()))
+}
+
+fn get_u64(v: &Value, key: &str, path: &Path) -> u64 {
+    match *field(v, key, path) {
+        Value::UInt(u) => Some(u),
+        Value::Int(i) => u64::try_from(i).ok(),
+        _ => None,
+    }
+    .unwrap_or_else(|| panic!("parsing {}: field {key:?} is not a u64", path.display()))
+}
+
+fn get_str(v: &Value, key: &str, path: &Path) -> String {
+    match field(v, key, path) {
+        Value::Str(s) => s.clone(),
+        _ => panic!("parsing {}: field {key:?} is not a string", path.display()),
+    }
+}
+
+fn get_array<'a>(v: &'a Value, key: &str, path: &Path) -> &'a [Value] {
+    match field(v, key, path) {
+        Value::Array(items) => items,
+        _ => panic!("parsing {}: field {key:?} is not an array", path.display()),
+    }
+}
+
+fn stat_from(v: &Value, path: &Path) -> Stat {
+    Stat {
+        mean: get_f64(v, "mean", path),
+        std_dev: get_f64(v, "std_dev", path),
+        ci95: get_f64(v, "ci95", path),
+        n: get_u64(v, "n", path),
+    }
+}
+
+fn stats_from(v: &Value, path: &Path) -> EnsembleStats {
+    EnsembleStats {
+        replications: get_usize(v, "replications", path),
+        jain: stat_from(field(v, "jain", path), path),
+        mean_queue: stat_from(field(v, "mean_queue", path), path),
+        utilization: stat_from(field(v, "utilization", path), path),
+        total_throughput: stat_from(field(v, "total_throughput", path), path),
+        total_dropped: stat_from(field(v, "total_dropped", path), path),
+        flow_throughput: get_array(v, "flow_throughput", path)
+            .iter()
+            .map(|s| stat_from(s, path))
+            .collect(),
+        flow_ctl_std: get_array(v, "flow_ctl_std", path)
+            .iter()
+            .map(|s| stat_from(s, path))
+            .collect(),
+        oscillation_amplitude: match field(v, "oscillation_amplitude", path) {
+            Value::Null => None,
+            s => Some(stat_from(s, path)),
+        },
+    }
+}
+
+fn sweep_report_from(v: &Value, path: &Path) -> SweepReport {
+    SweepReport {
+        name: get_str(v, "name", path),
+        base_seed: get_u64(v, "base_seed", path),
+        replications: get_usize(v, "replications", path),
+        axes: get_array(v, "axes", path)
+            .iter()
+            .map(|a| AxisReport {
+                name: get_str(a, "name", path),
+                values: get_array(a, "values", path)
+                    .iter()
+                    .map(|x| {
+                        x.as_f64().unwrap_or_else(|| {
+                            panic!("parsing {}: axis value is not a number", path.display())
+                        })
+                    })
+                    .collect(),
+            })
+            .collect(),
+        cells: get_array(v, "cells", path)
+            .iter()
+            .map(|c| CellReport {
+                name: get_str(c, "name", path),
+                index: get_usize(c, "index", path),
+                coords: get_array(c, "coords", path)
+                    .iter()
+                    .map(|x| {
+                        x.as_f64().unwrap_or_else(|| {
+                            panic!("parsing {}: coord is not a number", path.display())
+                        })
+                    })
+                    .collect(),
+                seed: get_u64(c, "seed", path),
+                stats: stats_from(field(c, "stats", path), path),
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_env;
 
-    // One test covers both the default path and the env override: the
-    // env var is process-global, so probing it in a second test would
-    // race the first under the threaded test runner.
     #[test]
     fn writes_and_returns_path_honoring_env_override() {
+        let _guard = test_env::lock();
+        let _restore = test_env::VarGuard::capture("FPK_RESULTS_DIR");
         #[derive(Serialize)]
         struct Tiny {
             x: u32,
@@ -66,5 +252,105 @@ mod tests {
         assert!(path.exists());
         let _ = fs::remove_file(path);
         let _ = fs::remove_dir(override_dir);
+    }
+
+    #[test]
+    fn uncreatable_results_dir_panics_with_the_attempted_path() {
+        let _guard = test_env::lock();
+        let _restore = test_env::VarGuard::capture("FPK_RESULTS_DIR");
+        // A path *through a file* cannot be created as a directory.
+        let blocker = std::env::temp_dir().join("fpk_results_blocker_selftest");
+        fs::write(&blocker, b"not a directory").unwrap();
+        let bad_dir = blocker.join("nested");
+        std::env::set_var("FPK_RESULTS_DIR", &bad_dir);
+        let caught = std::panic::catch_unwind(results_dir);
+        std::env::remove_var("FPK_RESULTS_DIR");
+        let _ = fs::remove_file(&blocker);
+        let msg = caught
+            .expect_err("uncreatable directory must panic, not fall back to cwd")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains(&bad_dir.display().to_string()),
+            "panic must name the attempted path: {msg}"
+        );
+    }
+
+    #[test]
+    fn sharded_write_load_merge_is_byte_identical_to_unsharded() {
+        use crate::exec::{run_sweep_on, run_sweep_shard};
+        use crate::scenario::Scenario;
+        use crate::sweep::{Axis, Sweep};
+        use fpk_congestion::LinearExp;
+        use fpk_sim::{Service, SimConfig, SourceSpec};
+
+        let _guard = test_env::lock();
+        let _restore = test_env::VarGuard::capture("FPK_RESULTS_DIR");
+        let base = Scenario::new(
+            "artifact_shard_roundtrip",
+            SimConfig {
+                mu: 40.0,
+                service: Service::Exponential,
+                buffer: None,
+                t_end: 2.0,
+                warmup: 0.5,
+                sample_interval: 0.1,
+                seed: 0,
+            },
+            vec![SourceSpec::Rate {
+                law: LinearExp::new(8.0, 0.5, 10.0),
+                lambda0: 15.0,
+                update_interval: 0.1,
+                prop_delay: 0.01,
+                poisson: true,
+            }],
+        );
+        let sweep = Sweep::new(base, 31)
+            .axis(Axis::mu(vec![30.0, 45.0, 60.0]))
+            .axis(Axis::flow_count(vec![1.0, 2.0]));
+        let whole = run_sweep_on(&sweep, 2, 2).unwrap();
+
+        let dir = std::env::temp_dir().join("fpk_shard_roundtrip_selftest");
+        std::env::set_var("FPK_RESULTS_DIR", &dir);
+        // Two "processes": each runs its shard and writes its file.
+        let mut shard_paths = Vec::new();
+        for i in 0..2 {
+            let shard = Shard::new(i, 2).unwrap();
+            let part = run_sweep_shard(&sweep, 2, shard).unwrap();
+            shard_paths.push(write_sweep_shard(&part, shard));
+        }
+        assert!(shard_paths[0].ends_with("artifact_shard_roundtrip.shard0of2.json"));
+        // Resume: read the parts back and merge.
+        let merged = merge_sweep_shards("artifact_shard_roundtrip", 2).unwrap();
+        std::env::remove_var("FPK_RESULTS_DIR");
+        for p in &shard_paths {
+            let _ = fs::remove_file(p);
+        }
+        let _ = fs::remove_dir(&dir);
+        // Byte-for-byte: the file round-trip (shortest-roundtrip float
+        // formatting) plus the merge must reproduce the unsharded run.
+        assert_eq!(
+            serde_json::to_string_pretty(&whole).unwrap(),
+            serde_json::to_string_pretty(&merged).unwrap()
+        );
+    }
+
+    #[test]
+    fn load_rejects_corrupt_checkpoints_loudly() {
+        let _guard = test_env::lock();
+        let path = std::env::temp_dir().join("fpk_corrupt_checkpoint_selftest.json");
+        fs::write(&path, b"{\"name\": \"x\", \"truncated\": ").unwrap();
+        let caught = std::panic::catch_unwind(|| load_sweep_report(&path));
+        let _ = fs::remove_file(&path);
+        let msg = caught
+            .expect_err("corrupt JSON must panic")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("fpk_corrupt_checkpoint_selftest.json"),
+            "panic must name the file: {msg}"
+        );
     }
 }

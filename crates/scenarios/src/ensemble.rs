@@ -118,53 +118,154 @@ impl Ensemble {
     }
 }
 
+/// Streaming per-cell aggregation: fold [`RunSummary`]s one at a time
+/// into [`RunningStats`] accumulators instead of materialising a
+/// `Vec<RunSummary>` per cell. A sweep worker pushes each replication
+/// as it finishes, so a 10⁵-cell × R grid holds O(cells) reports but
+/// only O(1) replication state — never O(cells × R) summaries.
+///
+/// Bit-identity contract: pushing replications in order `0..R` performs
+/// exactly the same sequence of [`RunningStats::push`] calls per field
+/// as [`aggregate`] on the collected slice did, so the resulting
+/// [`EnsembleStats`] is bit-identical to the collect-then-aggregate
+/// path (which now delegates here).
+#[derive(Default)]
+pub struct CellAccum {
+    replications: usize,
+    jain: RunningStats,
+    mean_queue: RunningStats,
+    utilization: RunningStats,
+    total_throughput: RunningStats,
+    total_dropped: RunningStats,
+    /// Sized by the first pushed summary; later disagreement errors.
+    flow_throughput: Vec<RunningStats>,
+    flow_ctl_std: Vec<RunningStats>,
+    /// Only replications whose trace tail oscillated push here.
+    oscillation: RunningStats,
+}
+
+impl CellAccum {
+    /// A fresh accumulator (no replications yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of summaries folded in so far.
+    #[must_use]
+    pub fn replications(&self) -> usize {
+        self.replications
+    }
+
+    /// Fold one replication summary.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] when the summary disagrees
+    /// with earlier ones on the flow count.
+    pub fn push(&mut self, s: &RunSummary) -> Result<()> {
+        if self.replications == 0 {
+            self.flow_throughput = vec![RunningStats::new(); s.throughputs.len()];
+            self.flow_ctl_std = vec![RunningStats::new(); s.ctl_std.len()];
+        } else if s.throughputs.len() != self.flow_throughput.len()
+            || s.ctl_std.len() != self.flow_ctl_std.len()
+        {
+            return Err(NumericsError::InvalidParameter {
+                context: "aggregate: replications disagree on flow count",
+            });
+        }
+        self.replications += 1;
+        self.jain.push(s.jain);
+        self.mean_queue.push(s.mean_queue);
+        self.utilization.push(s.utilization);
+        self.total_throughput.push(s.throughputs.iter().sum());
+        self.total_dropped.push(s.total_dropped as f64);
+        for (rs, &x) in self.flow_throughput.iter_mut().zip(&s.throughputs) {
+            rs.push(x);
+        }
+        for (rs, &x) in self.flow_ctl_std.iter_mut().zip(&s.ctl_std) {
+            rs.push(x);
+        }
+        if let Some(o) = &s.queue_oscillation {
+            self.oscillation.push(o.amplitude);
+        }
+        Ok(())
+    }
+
+    /// Convert the accumulated state into per-field statistics.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] when nothing was pushed.
+    pub fn finish(&self) -> Result<EnsembleStats> {
+        if self.replications == 0 {
+            return Err(NumericsError::InvalidParameter {
+                context: "aggregate: need at least one replication summary",
+            });
+        }
+        Ok(EnsembleStats {
+            replications: self.replications,
+            jain: Stat::from_running(&self.jain),
+            mean_queue: Stat::from_running(&self.mean_queue),
+            utilization: Stat::from_running(&self.utilization),
+            total_throughput: Stat::from_running(&self.total_throughput),
+            total_dropped: Stat::from_running(&self.total_dropped),
+            flow_throughput: self
+                .flow_throughput
+                .iter()
+                .map(Stat::from_running)
+                .collect(),
+            flow_ctl_std: self.flow_ctl_std.iter().map(Stat::from_running).collect(),
+            oscillation_amplitude: if self.oscillation.count() == 0 {
+                None
+            } else {
+                Some(Stat::from_running(&self.oscillation))
+            },
+        })
+    }
+}
+
 /// Aggregate replication summaries into per-field statistics.
+/// (Collect-then-aggregate view of [`CellAccum`]; the sweep runner
+/// streams through the accumulator directly and never builds the
+/// slice.)
 ///
 /// # Errors
 /// [`NumericsError::InvalidParameter`] when `summaries` is empty or the
 /// replications disagree on the flow count.
 pub fn aggregate(summaries: &[RunSummary]) -> Result<EnsembleStats> {
-    let Some(first) = summaries.first() else {
-        return Err(NumericsError::InvalidParameter {
-            context: "aggregate: need at least one replication summary",
-        });
-    };
-    let n_flows = first.throughputs.len();
-    let n_ctl = first.ctl_std.len();
-    if summaries
-        .iter()
-        .any(|s| s.throughputs.len() != n_flows || s.ctl_std.len() != n_ctl)
-    {
-        return Err(NumericsError::InvalidParameter {
-            context: "aggregate: replications disagree on flow count",
-        });
+    let mut accum = CellAccum::new();
+    for s in summaries {
+        accum.push(s)?;
     }
-    let collect = |f: &dyn Fn(&RunSummary) -> f64| -> Stat {
-        Stat::from_samples(&summaries.iter().map(f).collect::<Vec<_>>())
-    };
-    let amplitudes: Vec<f64> = summaries
-        .iter()
-        .filter_map(|s| s.queue_oscillation.as_ref().map(|o| o.amplitude))
-        .collect();
-    Ok(EnsembleStats {
-        replications: summaries.len(),
-        jain: collect(&|s| s.jain),
-        mean_queue: collect(&|s| s.mean_queue),
-        utilization: collect(&|s| s.utilization),
-        total_throughput: collect(&|s| s.throughputs.iter().sum()),
-        total_dropped: collect(&|s| s.total_dropped as f64),
-        flow_throughput: (0..n_flows)
-            .map(|i| collect(&|s: &RunSummary| s.throughputs[i]))
-            .collect(),
-        flow_ctl_std: (0..n_ctl)
-            .map(|i| collect(&|s: &RunSummary| s.ctl_std[i]))
-            .collect(),
-        oscillation_amplitude: if amplitudes.is_empty() {
-            None
-        } else {
-            Some(Stat::from_samples(&amplitudes))
-        },
-    })
+    accum.finish()
+}
+
+/// Variance-reduced A/B comparison of two scenarios via common random
+/// numbers: replication `r` of both scenarios runs on the *same* seed
+/// (`replication_seed(cell_seed, r)`), so the per-replication difference
+/// `metric(a) − metric(b)` cancels the shared arrival/service noise and
+/// its CI shrinks far below what independent seeds give. Returns the
+/// [`Stat`] of the paired differences.
+///
+/// # Errors
+/// Propagates the first failing replication of either scenario and the
+/// `replications == 0` validation error.
+pub fn paired_diff(
+    a: &Scenario,
+    b: &Scenario,
+    cell_seed: u64,
+    replications: usize,
+    metric: impl Fn(&RunSummary) -> f64,
+) -> Result<Stat> {
+    Ensemble::new(replications)?;
+    let mut arena = fpk_sim::NetArena::new();
+    let mut diffs = RunningStats::new();
+    for r in 0..replications {
+        let seed = Ensemble::replication_seed(cell_seed, r);
+        let sa = a.run_seeded_in(&mut arena, seed)?;
+        let sb = b.run_seeded_in(&mut arena, seed)?;
+        diffs.push(metric(&sa) - metric(&sb));
+    }
+    Ok(Stat::from_running(&diffs))
 }
 
 #[cfg(test)]
@@ -224,6 +325,65 @@ mod tests {
         let s3: Vec<u64> = (0..3).map(|r| Ensemble::replication_seed(7, r)).collect();
         let s5: Vec<u64> = (0..5).map(|r| Ensemble::replication_seed(7, r)).collect();
         assert_eq!(s3, s5[..3]);
+    }
+
+    #[test]
+    fn streaming_accumulator_matches_collected_aggregate_bitwise() {
+        // The sweep runner folds summaries through CellAccum one at a
+        // time; the result must be bit-identical to aggregating the
+        // collected slice (same RunningStats push order per field).
+        let sc = scenario();
+        let summaries: Vec<RunSummary> = (0..4)
+            .map(|r| sc.run_seeded(Ensemble::replication_seed(5, r)).unwrap())
+            .collect();
+        let collected = aggregate(&summaries).unwrap();
+        let mut accum = CellAccum::new();
+        for s in &summaries {
+            accum.push(s).unwrap();
+        }
+        let streamed = accum.finish().unwrap();
+        assert_eq!(
+            serde_json::to_string(&collected).unwrap(),
+            serde_json::to_string(&streamed).unwrap()
+        );
+        assert_eq!(accum.replications(), 4);
+    }
+
+    #[test]
+    fn accum_rejects_empty_and_mismatched_pushes() {
+        assert!(CellAccum::new().finish().is_err());
+        let sc = scenario();
+        let mut one = sc.run_seeded(1).unwrap();
+        let two = sc.run_seeded(2).unwrap();
+        one.throughputs.pop();
+        let mut accum = CellAccum::new();
+        accum.push(&two).unwrap();
+        assert!(accum.push(&one).is_err(), "flow-count mismatch must fail");
+    }
+
+    #[test]
+    fn paired_diff_runs_both_arms_on_common_seeds() {
+        // The exact CRN property: replication r of both arms runs on
+        // the same seed, so identical scenarios produce *identically
+        // zero* paired differences — not merely small ones. (This is
+        // what distinguishes seed pairing from independent streams,
+        // where A−A would still carry the full two-run variance.)
+        let a = scenario();
+        let same = paired_diff(&a, &a, 7, 4, |s| s.mean_queue).unwrap();
+        assert_eq!(same.n, 4);
+        assert_eq!(same.mean, 0.0, "common seeds must cancel exactly");
+        assert_eq!(same.std_dev, 0.0);
+
+        // A strongly contrasted A/B pair: heavier load must lengthen
+        // the queue in *every* paired replication, so the difference
+        // comes out positive with a CI that excludes zero even at R=4.
+        let mut b = scenario();
+        b.config.mu = 100.0;
+        let diff = paired_diff(&a, &b, 7, 4, |s| s.mean_queue).unwrap();
+        assert!(
+            diff.mean > diff.ci95 && diff.mean > 0.0,
+            "queue(mu=50) − queue(mu=100) must be positive beyond its CI: {diff:?}"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Parallel sweep execution on `std::thread::scope`.
+//! Sweep execution on the persistent worker pool.
 //!
 //! Determinism policy (same contract as `fpk_core::montecarlo`): every
 //! job is a pure function of its linear index — cell parameters and all
@@ -7,57 +7,130 @@
 //! base seed regardless of thread count**; the `FPK_THREADS` environment
 //! variable only changes wall-clock time.
 //!
-//! Execution model: workers *stride* the index space (worker `w` takes
-//! jobs `w, w+T, w+2T, …`), collect into per-worker stripe vectors, and
-//! the stripes are interleaved back into index order after the join —
-//! no per-job channel sends, no index tagging, no sort. Each worker also
-//! owns one reusable [`NetArena`], so DES replications after its first
-//! run allocate no simulator scratch state.
+//! Execution model: batches run on the process-wide [`crate::pool`] —
+//! workers are spawned once, park on their job channels between sweeps,
+//! and keep their [`NetArena`] scratch across batches, so no sweep after
+//! the first pays thread-spawn or arena-construction cost (the PR-5
+//! executor spawned fresh `std::thread::scope` threads per sweep, which
+//! made `scenario_grid/parallel` *lose* to serial at table-sized grids).
+//! Workers *stride* the index space (worker `w` takes jobs
+//! `w, w+T, w+2T, …`) and stripes are interleaved back into index order
+//! after the batch. Setting `FPK_POOL=off` (or `0`) routes every batch
+//! through the spawn-per-call scoped fallback ([`run_indexed_scoped`])
+//! instead — same results, pre-pool cost profile.
+//!
+//! Sweeps aggregate **streamingly**: parallelism is per *cell*, each
+//! worker folds its cell's replications one at a time through
+//! [`CellAccum`], so a 10⁵-cell × R grid holds O(cells) finished
+//! reports but never materialises the O(cells × R) run summaries the
+//! collect-then-aggregate path kept live. For grids too big for one
+//! process, [`run_sweep_shard`] computes a deterministic slice of the
+//! grid and [`SweepReport::merge`] reassembles the full report from
+//! shard parts — bit-identical to the unsharded run.
 
-use crate::ensemble::{aggregate, Ensemble, EnsembleStats};
+use crate::ensemble::{CellAccum, Ensemble, EnsembleStats};
+use crate::pool::{pool, resume_with_index, JobPanic};
 use crate::sweep::{Cell, Sweep};
-use fpk_numerics::Result;
-use fpk_sim::{NetArena, RunSummary};
+use fpk_numerics::{NumericsError, Result};
+use fpk_sim::NetArena;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-/// Worker count: the `FPK_THREADS` override when set to a positive
-/// integer, otherwise the machine's available parallelism.
+/// Worker count: the `FPK_THREADS` override when set, otherwise the
+/// machine's available parallelism.
+///
+/// # Panics
+/// Panics when `FPK_THREADS` is set to anything but a positive integer
+/// (unset or empty means "no override"). A typo'd determinism override
+/// must fail loudly, not silently fall back to machine parallelism.
 #[must_use]
 pub fn thread_count() -> usize {
-    std::env::var("FPK_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        })
+    match std::env::var("FPK_THREADS") {
+        Err(std::env::VarError::NotPresent) => default_parallelism(),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("FPK_THREADS must be a positive integer, got non-UTF-8 {raw:?}")
+        }
+        Ok(s) if s.is_empty() => default_parallelism(),
+        Ok(s) => match s.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!(
+                "FPK_THREADS must be a positive integer, got {s:?} \
+                 (unset it for machine parallelism)"
+            ),
+        },
+    }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// True unless `FPK_POOL` is set to `off`, `0`, or `false` — the
+/// kill-switch that routes batches through the spawn-per-call scoped
+/// fallback instead of the persistent pool.
+#[must_use]
+pub fn pool_enabled() -> bool {
+    !matches!(
+        std::env::var("FPK_POOL").as_deref(),
+        Ok("off" | "0" | "false")
+    )
 }
 
 /// Run `n_jobs` independent jobs on `threads` workers and return their
-/// results in job order.
+/// results in job order. Runs on the persistent pool (or the scoped
+/// fallback under `FPK_POOL=off`); either way the output is
+/// bit-identical as long as `f` is a pure function of the index.
 ///
-/// Worker `w` strides the index space (`w, w+threads, w+2·threads, …`)
-/// and collects its results into one stripe vector; the stripes are
-/// interleaved back into index order after the join. Compared to the
-/// old per-job `mpsc` sends this does no per-result channel traffic, no
-/// `(index, value)` tagging, and no final sort — and the output is
-/// bit-identical regardless of thread count as long as `f` is a pure
-/// function of the index.
+/// # Panics
+/// Re-raises a panicking job on the calling thread, naming the failing
+/// job index alongside the original payload.
 pub fn run_indexed<T, F>(n_jobs: usize, threads: usize, f: F) -> Vec<T>
 where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
 {
-    run_indexed_with(n_jobs, threads, || (), |(), i| f(i))
+    run_indexed_with(n_jobs, threads, || (), move |(), i| f(i))
 }
 
-/// [`run_indexed`] with per-worker scratch state: every worker calls
-/// `init` once and threads the value through all of its jobs. This is
-/// how the sweep runner reuses one [`NetArena`] per worker across many
-/// replications. Determinism contract: `f` must be a pure function of
-/// the *index* — the scratch state may cache allocations but must not
-/// leak information between jobs.
+/// [`run_indexed`] with per-worker scratch state: every worker obtains
+/// a `C` (pool workers reuse the one cached from earlier batches — this
+/// is how sweep replications share one [`NetArena`] per worker across
+/// the whole process) and threads it through all of its jobs.
+/// Determinism contract: `f` must be a pure function of the *index* —
+/// the scratch state may cache allocations but must not leak
+/// information between jobs.
+///
+/// The `'static` bounds exist because pool workers outlive the call;
+/// move [`Arc`]s into the closure for shared inputs, or use
+/// [`run_indexed_scoped`] when borrowing locals matters more than pool
+/// reuse.
+///
+/// # Panics
+/// See [`run_indexed`].
 pub fn run_indexed_with<T, C, I, F>(n_jobs: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    C: std::any::Any + Send,
+    T: Send + 'static,
+    I: Fn() -> C + Send + Sync + 'static,
+    F: Fn(&mut C, usize) -> T + Send + Sync + 'static,
+{
+    if pool_enabled() {
+        pool().run_batch(n_jobs, threads, init, f)
+    } else {
+        run_indexed_scoped(n_jobs, threads, init, f)
+    }
+}
+
+/// The no-pool fallback executor: spawn `threads` scoped workers for
+/// this one batch and join them before returning. Accepts borrowing
+/// closures (no `'static`), costs a thread spawn per worker per call,
+/// and reports job panics exactly like the pool (failing index +
+/// original payload, smallest index wins).
+///
+/// # Panics
+/// See [`run_indexed`].
+pub fn run_indexed_scoped<T, C, I, F>(n_jobs: usize, threads: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
     I: Fn() -> C + Sync,
@@ -67,33 +140,51 @@ where
         return Vec::new();
     }
     let threads = threads.clamp(1, n_jobs);
-    if threads == 1 {
+    let run_stripe = |w: usize| -> std::result::Result<Vec<T>, JobPanic> {
         let mut ctx = init();
-        return (0..n_jobs).map(|i| f(&mut ctx, i)).collect();
-    }
-    let stripes: Vec<Vec<T>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let init = &init;
-                let f = &f;
-                scope.spawn(move || {
-                    let mut ctx = init();
-                    let mut stripe = Vec::with_capacity(n_jobs / threads + 1);
-                    let mut i = w;
-                    while i < n_jobs {
-                        stripe.push(f(&mut ctx, i));
-                        i += threads;
-                    }
-                    stripe
+        let mut stripe = Vec::with_capacity(n_jobs / threads + 1);
+        let mut i = w;
+        while i < n_jobs {
+            match catch_unwind(AssertUnwindSafe(|| f(&mut ctx, i))) {
+                Ok(v) => stripe.push(v),
+                Err(payload) => return Err(JobPanic { index: i, payload }),
+            }
+            i += threads;
+        }
+        Ok(stripe)
+    };
+    let stripes: Vec<std::result::Result<Vec<T>, JobPanic>> = if threads == 1 {
+        vec![run_stripe(0)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let run_stripe = &run_stripe;
+                    scope.spawn(move || run_stripe(w))
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut iters: Vec<_> = stripes.into_iter().map(Vec::into_iter).collect();
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stripe worker catches its own panics"))
+                .collect()
+        })
+    };
+    let mut iters = Vec::with_capacity(threads);
+    let mut first_panic: Option<JobPanic> = None;
+    for outcome in stripes {
+        match outcome {
+            Ok(v) => iters.push(v.into_iter()),
+            Err(p) => {
+                if first_panic.as_ref().is_none_or(|q| p.index < q.index) {
+                    first_panic = Some(p);
+                }
+                iters.push(Vec::new().into_iter());
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        resume_with_index(p);
+    }
     (0..n_jobs)
         .map(|i| iters[i % threads].next().expect("stripe exhausted"))
         .collect()
@@ -107,11 +198,12 @@ where
 /// Propagates the first failing cell (by cell order).
 pub fn run_cells<T, F>(sweep: &Sweep, f: F) -> Result<Vec<T>>
 where
-    T: Send,
-    F: Fn(&Cell) -> Result<T> + Sync,
+    T: Send + 'static,
+    F: Fn(&Cell) -> Result<T> + Send + Sync + 'static,
 {
-    let cells = sweep.cells();
-    run_indexed(cells.len(), thread_count(), |i| f(&cells[i]))
+    let cells = Arc::new(sweep.cells());
+    let jobs = Arc::clone(&cells);
+    run_indexed_with(cells.len(), thread_count(), || (), move |(), i| f(&jobs[i]))
         .into_iter()
         .collect()
 }
@@ -152,7 +244,8 @@ pub struct SweepReport {
     pub replications: usize,
     /// Axis metadata in declaration order.
     pub axes: Vec<AxisReport>,
-    /// Aggregated cells in row-major grid order.
+    /// Aggregated cells in row-major grid order (for a shard report:
+    /// the shard's cells, still carrying their global grid indices).
     pub cells: Vec<CellReport>,
 }
 
@@ -163,6 +256,60 @@ impl SweepReport {
     /// (see [`crate::artifact::results_dir`]).
     pub fn write(&self) -> std::path::PathBuf {
         crate::artifact::write_json(&self.name, self)
+    }
+
+    /// Number of cells the axes span (what a complete report carries).
+    #[must_use]
+    pub fn grid_len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Reassemble a full report from shard parts (any order, e.g. one
+    /// [`run_sweep_shard`] output per process). Cells are re-sorted
+    /// into grid order, so the merged report is **bit-identical** to
+    /// what one unsharded [`run_sweep`] over the same sweep produces.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] when `parts` is empty, the
+    /// parts disagree on sweep metadata (name, base seed, replications,
+    /// axes), or the union of their cells does not cover the grid
+    /// exactly once (missing, duplicate, or out-of-range indices).
+    pub fn merge(parts: Vec<SweepReport>) -> Result<SweepReport> {
+        let Some(first) = parts.first() else {
+            return Err(NumericsError::InvalidParameter {
+                context: "merge: need at least one shard report",
+            });
+        };
+        if parts[1..].iter().any(|p| {
+            p.name != first.name
+                || p.base_seed != first.base_seed
+                || p.replications != first.replications
+                || p.axes.len() != first.axes.len()
+                || p.axes
+                    .iter()
+                    .zip(&first.axes)
+                    .any(|(a, b)| a.name != b.name || a.values != b.values)
+        }) {
+            return Err(NumericsError::InvalidParameter {
+                context: "merge: shard reports disagree on sweep metadata",
+            });
+        }
+        let mut merged = SweepReport {
+            name: first.name.clone(),
+            base_seed: first.base_seed,
+            replications: first.replications,
+            axes: first.axes.clone(),
+            cells: parts.into_iter().flat_map(|p| p.cells).collect(),
+        };
+        merged.cells.sort_by_key(|c| c.index);
+        let complete = merged.cells.len() == merged.grid_len()
+            && merged.cells.iter().enumerate().all(|(i, c)| c.index == i);
+        if !complete {
+            return Err(NumericsError::InvalidParameter {
+                context: "merge: shard cells do not cover the grid exactly once",
+            });
+        }
+        Ok(merged)
     }
 
     /// The cells whose coordinate on axis `k` equals `v` (within 1e-12).
@@ -186,31 +333,150 @@ impl SweepReport {
     }
 }
 
+/// One slice of a sweep grid for multi-process (checkpoint/resume)
+/// execution: shard `index` of `count` owns the cells whose grid index
+/// is ≡ `index` (mod `count`). The modulo partition balances load even
+/// when cost varies smoothly along an axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shard {
+    /// Which slice this is (`0..count`).
+    pub index: usize,
+    /// Total number of slices.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Shard `index` of `count`.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] unless `index < count`.
+    pub fn new(index: usize, count: usize) -> Result<Self> {
+        if index < count {
+            Ok(Self { index, count })
+        } else {
+            Err(NumericsError::InvalidParameter {
+                context: "Shard: index must lie below count",
+            })
+        }
+    }
+
+    /// True when this shard owns grid cell `cell_index`.
+    #[must_use]
+    pub fn owns(&self, cell_index: usize) -> bool {
+        cell_index % self.count == self.index
+    }
+
+    /// Artifact file stem for this shard of sweep `name`
+    /// (`<name>.shard<i>of<n>`); the shard geometry lives in the file
+    /// name so the `SweepReport` JSON schema stays byte-identical to an
+    /// unsharded report's.
+    #[must_use]
+    pub fn file_stem(&self, name: &str) -> String {
+        format!("{name}.shard{}of{}", self.index, self.count)
+    }
+}
+
 /// Run a sweep with `replications` seeds per cell on the default worker
 /// count ([`thread_count`]).
 ///
 /// # Errors
-/// Propagates the first failing replication (in deterministic job
+/// Propagates the first failing replication (in deterministic cell
 /// order) and ensemble-validation errors.
 pub fn run_sweep(sweep: &Sweep, replications: usize) -> Result<SweepReport> {
     run_sweep_on(sweep, replications, thread_count())
 }
 
-/// [`run_sweep`] with an explicit worker count. Parallelism is over
-/// `(cell, replication)` jobs, so even a single-cell sweep with many
-/// replications scales.
+/// [`run_sweep`] with an explicit worker count. Parallelism is per
+/// *cell*: a worker runs all of a cell's replications in order, folding
+/// each summary straight into a streaming [`CellAccum`] — memory per
+/// in-flight cell is O(1) in the replication count, and the aggregated
+/// output is bit-identical to collect-then-[`crate::aggregate`].
 ///
 /// # Errors
 /// See [`run_sweep`].
 pub fn run_sweep_on(sweep: &Sweep, replications: usize, threads: usize) -> Result<SweepReport> {
+    run_sweep_filtered(sweep, replications, threads, None)
+}
+
+/// Run only the cells a [`Shard`] owns, on the default worker count.
+/// The report keeps global cell indices and per-cell seeds, so
+/// [`SweepReport::merge`] over all `count` shard reports reproduces the
+/// unsharded report bit-for-bit — shards may run in any order, in
+/// separate processes, on different thread counts.
+///
+/// # Errors
+/// See [`run_sweep`].
+pub fn run_sweep_shard(sweep: &Sweep, replications: usize, shard: Shard) -> Result<SweepReport> {
+    run_sweep_filtered(sweep, replications, thread_count(), Some(shard))
+}
+
+fn run_sweep_filtered(
+    sweep: &Sweep,
+    replications: usize,
+    threads: usize,
+    shard: Option<Shard>,
+) -> Result<SweepReport> {
     // Validates `replications >= 1`.
+    Ensemble::new(replications)?;
+    let mut cells = sweep.cells();
+    if let Some(shard) = shard {
+        cells.retain(|c| shard.owns(c.index));
+    }
+    let cells = Arc::new(cells);
+    let jobs = Arc::clone(&cells);
+    let reports: Result<Vec<CellReport>> =
+        run_indexed_with(cells.len(), threads, NetArena::new, move |arena, j| {
+            let cell = &jobs[j];
+            let mut accum = CellAccum::new();
+            for r in 0..replications {
+                let seed = Ensemble::replication_seed(cell.seed, r);
+                accum.push(&cell.scenario.run_seeded_in(arena, seed)?)?;
+            }
+            Ok(CellReport {
+                name: cell.scenario.name.clone(),
+                index: cell.index,
+                coords: cell.coords.clone(),
+                seed: cell.seed,
+                stats: accum.finish()?,
+            })
+        })
+        .into_iter()
+        .collect();
+    Ok(SweepReport {
+        name: sweep.name().to_string(),
+        base_seed: sweep.base_seed(),
+        replications,
+        axes: sweep
+            .axes()
+            .iter()
+            .map(|a| AxisReport {
+                name: a.name.clone(),
+                values: a.values.clone(),
+            })
+            .collect(),
+        cells: reports?,
+    })
+}
+
+/// The pre-pool sweep runner, kept as the reference/fallback path (and
+/// the bench baseline's "serial" row): spawn-per-call scoped workers
+/// over `(cell, replication)` jobs, collect every `RunSummary`, then
+/// aggregate each cell's slice. Bit-identical output to
+/// [`run_sweep_on`] — only the cost profile differs (O(cells × R)
+/// summaries live at once, a fresh arena per worker per call).
+///
+/// # Errors
+/// See [`run_sweep`].
+pub fn run_sweep_unpooled(
+    sweep: &Sweep,
+    replications: usize,
+    threads: usize,
+) -> Result<SweepReport> {
     Ensemble::new(replications)?;
     let cells = sweep.cells();
     let n_jobs = cells.len() * replications;
-    // One arena per worker: every replication after a worker's first
-    // reuses its event-queue, FIFO and trace buffers (run_seeded_in).
-    let summaries: Vec<Result<RunSummary>> =
-        run_indexed_with(n_jobs, threads, NetArena::new, |arena, job| {
+    let summaries: Vec<Result<fpk_sim::RunSummary>> =
+        run_indexed_scoped(n_jobs, threads, NetArena::new, |arena, job| {
             let cell = &cells[job / replications];
             let r = job % replications;
             cell.scenario
@@ -219,7 +485,7 @@ pub fn run_sweep_on(sweep: &Sweep, replications: usize, threads: usize) -> Resul
     let mut reports = Vec::with_capacity(cells.len());
     let mut iter = summaries.into_iter();
     for cell in cells {
-        let runs: Vec<RunSummary> = iter
+        let runs: Vec<fpk_sim::RunSummary> = iter
             .by_ref()
             .take(replications)
             .collect::<Result<Vec<_>>>()?;
@@ -228,7 +494,7 @@ pub fn run_sweep_on(sweep: &Sweep, replications: usize, threads: usize) -> Resul
             index: cell.index,
             coords: cell.coords.clone(),
             seed: cell.seed,
-            stats: aggregate(&runs)?,
+            stats: crate::ensemble::aggregate(&runs)?,
         });
     }
     Ok(SweepReport {
@@ -252,6 +518,7 @@ mod tests {
     use super::*;
     use crate::scenario::Scenario;
     use crate::sweep::Axis;
+    use crate::test_env;
     use fpk_congestion::LinearExp;
     use fpk_sim::{Service, SimConfig, SourceSpec};
 
@@ -280,6 +547,34 @@ mod tests {
             .axis(Axis::flow_count(vec![1.0, 2.0]))
     }
 
+    /// A cheap sweep for tests that care about grid mechanics, not DES
+    /// fidelity: `cells × 1` label grid, sub-second simulated horizon.
+    fn light_sweep(name: &'static str, cells: usize) -> Sweep {
+        let base = Scenario::new(
+            name,
+            SimConfig {
+                mu: 40.0,
+                service: Service::Exponential,
+                buffer: None,
+                t_end: 2.0,
+                warmup: 0.25,
+                sample_interval: 0.1,
+                seed: 0,
+            },
+            vec![SourceSpec::Rate {
+                law: LinearExp::new(8.0, 0.5, 10.0),
+                lambda0: 15.0,
+                update_interval: 0.1,
+                prop_delay: 0.01,
+                poisson: true,
+            }],
+        );
+        Sweep::new(base, 77).axis(Axis::label_only(
+            "k",
+            (0..cells).map(|i| i as f64).collect(),
+        ))
+    }
+
     #[test]
     fn run_indexed_orders_results() {
         for threads in [1, 2, 7] {
@@ -292,12 +587,14 @@ mod tests {
     }
 
     #[test]
-    fn run_indexed_with_reuses_worker_state() {
-        // Each worker counts its own jobs in its scratch state; the
-        // per-job output must still be a pure function of the index,
-        // and every job must run exactly once across all workers.
+    fn scoped_fallback_reuses_worker_state_within_a_call() {
+        // Each scoped worker counts its own jobs in its scratch state;
+        // the per-job output must still be a pure function of the
+        // index, and every job must run exactly once across workers.
+        // (The pooled path persists scratch *across* calls instead —
+        // covered by `pool::worker_scratch_persists_across_batches`.)
         for threads in [1, 2, 5] {
-            let out = run_indexed_with(
+            let out = run_indexed_scoped(
                 17,
                 threads,
                 || 0usize,
@@ -314,6 +611,53 @@ mod tests {
     }
 
     #[test]
+    fn scoped_fallback_names_panicking_job() {
+        for threads in [1, 3] {
+            let caught = catch_unwind(|| {
+                run_indexed_scoped(
+                    9,
+                    threads,
+                    || (),
+                    |(), i| {
+                        assert!(i != 5, "fallback boom");
+                        i
+                    },
+                )
+            })
+            .expect_err("the panicking job must propagate");
+            let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("job 5"), "missing index: {msg}");
+            assert!(msg.contains("fallback boom"), "missing payload: {msg}");
+        }
+    }
+
+    #[test]
+    fn thread_count_rejects_malformed_or_zero_override() {
+        let _guard = test_env::lock();
+        let _restore = test_env::VarGuard::capture("FPK_THREADS");
+        for bad in ["zero", "0", "-3", "1.5"] {
+            std::env::set_var("FPK_THREADS", bad);
+            let caught = catch_unwind(thread_count);
+            std::env::remove_var("FPK_THREADS");
+            let msg = caught
+                .expect_err("malformed FPK_THREADS must panic")
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains(bad), "panic must quote the bad value: {msg}");
+        }
+        // Empty means "no override", like unset.
+        std::env::set_var("FPK_THREADS", "");
+        let n = thread_count();
+        std::env::remove_var("FPK_THREADS");
+        assert!(n >= 1);
+        std::env::set_var("FPK_THREADS", "3");
+        let n = thread_count();
+        std::env::remove_var("FPK_THREADS");
+        assert_eq!(n, 3);
+    }
+
+    #[test]
     fn sweep_output_bit_identical_across_thread_counts() {
         let s = sweep();
         let a = run_sweep_on(&s, 3, 1).unwrap();
@@ -327,8 +671,52 @@ mod tests {
     }
 
     #[test]
+    fn sweep_bit_identical_across_env_thread_counts_through_the_pool() {
+        // The ISSUE's pool-determinism criterion: FPK_THREADS ∈ {1,3,7}
+        // routed through the *environment* (the production path), all
+        // through the persistent pool, must serialise identically.
+        let _guard = test_env::lock();
+        let _restore = test_env::VarGuard::capture("FPK_THREADS");
+        let s = sweep();
+        let mut outputs = Vec::new();
+        for threads in ["1", "3", "7"] {
+            std::env::set_var("FPK_THREADS", threads);
+            let report = run_sweep(&s, 2);
+            outputs.push(serde_json::to_string(&report.unwrap()).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn pooled_streaming_matches_unpooled_collected_bitwise() {
+        // The pooled streaming path and the legacy collect-then-
+        // aggregate fallback must agree to the bit, on the same sweep,
+        // at several widths.
+        let s = sweep();
+        let pooled = serde_json::to_string(&run_sweep_on(&s, 3, 4).unwrap()).unwrap();
+        for threads in [1, 4] {
+            let legacy =
+                serde_json::to_string(&run_sweep_unpooled(&s, 3, threads).unwrap()).unwrap();
+            assert_eq!(pooled, legacy, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pool_kill_switch_preserves_results() {
+        let _guard = test_env::lock();
+        let _restore = test_env::VarGuard::capture("FPK_POOL");
+        let s = sweep();
+        let on = serde_json::to_string(&run_sweep_on(&s, 2, 3).unwrap()).unwrap();
+        std::env::set_var("FPK_POOL", "off");
+        let report = run_sweep_on(&s, 2, 3);
+        assert_eq!(on, serde_json::to_string(&report.unwrap()).unwrap());
+    }
+
+    #[test]
     fn run_cells_custom_evaluator() {
         // A "fluid" sweep that ignores the DES bundle entirely.
+        let _guard = test_env::lock();
         let out = run_cells(&sweep(), |cell| Ok(cell.coords[0] + cell.coords[1])).unwrap();
         assert_eq!(out, vec![31.0, 32.0, 61.0, 62.0]);
     }
@@ -347,6 +735,100 @@ mod tests {
         )
         .axis(Axis::flow_count(vec![1.0, 2.0]));
         assert!(run_sweep_on(&s, 2, 3).is_err());
+    }
+
+    #[test]
+    fn shard_merge_matches_unsharded_bitwise() {
+        let s = sweep();
+        let whole = run_sweep_on(&s, 2, 3).unwrap();
+        let parts: Vec<SweepReport> = (0..3)
+            .map(|i| run_sweep_filtered(&s, 2, 2, Some(Shard::new(i, 3).unwrap())).unwrap())
+            .collect();
+        // Shards partition the grid.
+        assert_eq!(parts.iter().map(|p| p.cells.len()).sum::<usize>(), 4);
+        // Merge in scrambled order: grid order must be restored.
+        let scrambled = vec![parts[2].clone(), parts[0].clone(), parts[1].clone()];
+        let merged = SweepReport::merge(scrambled).unwrap();
+        assert_eq!(
+            serde_json::to_string(&whole).unwrap(),
+            serde_json::to_string(&merged).unwrap()
+        );
+    }
+
+    #[test]
+    fn merge_rejects_gaps_duplicates_and_metadata_drift() {
+        let s = sweep();
+        let parts: Vec<SweepReport> = (0..2).map(|i| run_sweep_shard_on_two(&s, i)).collect();
+        assert!(SweepReport::merge(Vec::new()).is_err(), "empty parts");
+        assert!(
+            SweepReport::merge(vec![parts[0].clone()]).is_err(),
+            "missing shard leaves grid gaps"
+        );
+        assert!(
+            SweepReport::merge(vec![parts[0].clone(), parts[0].clone()]).is_err(),
+            "duplicate shard double-covers cells"
+        );
+        let mut drifted = parts[1].clone();
+        drifted.base_seed ^= 1;
+        assert!(
+            SweepReport::merge(vec![parts[0].clone(), drifted]).is_err(),
+            "metadata drift must be rejected"
+        );
+        // The honest pair still merges.
+        assert!(SweepReport::merge(parts).is_ok());
+    }
+
+    fn run_sweep_shard_on_two(s: &Sweep, index: usize) -> SweepReport {
+        run_sweep_filtered(s, 1, 2, Some(Shard::new(index, 2).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn shard_validates_and_names_files() {
+        assert!(Shard::new(2, 2).is_err());
+        assert!(Shard::new(0, 0).is_err());
+        let sh = Shard::new(1, 4).unwrap();
+        assert!(sh.owns(5) && sh.owns(1) && !sh.owns(4));
+        assert_eq!(sh.file_stem("grid"), "grid.shard1of4");
+    }
+
+    #[test]
+    fn stress_scale_grid_streams_exactly() {
+        // A 10⁴-cell grid (tiny simulated horizon) through the pooled
+        // streaming path: every cell must come back, in order, with its
+        // own seed, and spot-checked cells must match an independently
+        // computed reference — the stress tier is exact, not sampled.
+        let s = light_sweep("stress", 10_000);
+        let report = run_sweep_on(&s, 1, 4).unwrap();
+        assert_eq!(report.cells.len(), 10_000);
+        assert!(report
+            .cells
+            .iter()
+            .enumerate()
+            .all(|(i, c)| c.index == i && c.stats.replications == 1));
+        for probe in [0usize, 137, 9_999] {
+            let cell = &report.cells[probe];
+            let reference = cell
+                .scenario_free_reference(&s)
+                .expect("probe cell re-runs standalone");
+            assert_eq!(
+                serde_json::to_string(&cell.stats).unwrap(),
+                serde_json::to_string(&reference).unwrap(),
+                "cell {probe} must equal its standalone run"
+            );
+        }
+    }
+
+    impl CellReport {
+        /// Re-run this report's cell standalone (fresh arena, no pool)
+        /// and aggregate — the reference value for stress spot-checks.
+        fn scenario_free_reference(&self, s: &Sweep) -> Result<EnsembleStats> {
+            let cell = s
+                .cells()
+                .into_iter()
+                .find(|c| c.index == self.index)
+                .expect("probe index in grid");
+            Ensemble::new(1)?.run(&cell.scenario, cell.seed)
+        }
     }
 
     #[test]

@@ -14,12 +14,19 @@
 //!   of cells, each with a deterministic seed derived splitmix-style
 //!   from `(base_seed, cell_index)`.
 //! * [`Ensemble`] — R replications per cell aggregated into
-//!   mean / std-dev / 95% CI per `RunSummary` field.
-//! * [`run_sweep`] — a parallel executor on `std::thread::scope` with
-//!   the `montecarlo.rs` determinism policy: bit-identical output for a
-//!   fixed base seed regardless of thread count (`FPK_THREADS`
-//!   overrides the worker count), plus the shared `results/<name>.json`
-//!   artifact writer ([`write_json`]).
+//!   mean / std-dev / 95% CI per `RunSummary` field, streamed through
+//!   [`CellAccum`] so huge grids never hold per-replication summaries.
+//! * [`run_sweep`] — a parallel executor on a persistent worker [`pool`]
+//!   (workers spawned once per process, parked between sweeps, each
+//!   keeping its `NetArena` scratch) with the `montecarlo.rs`
+//!   determinism policy: bit-identical output for a fixed base seed
+//!   regardless of thread count (`FPK_THREADS` overrides the worker
+//!   count; `FPK_POOL=off` falls back to spawn-per-call scoped
+//!   threads), plus the shared `results/<name>.json` artifact writer
+//!   ([`write_json`]). Stress-scale grids shard across processes with
+//!   [`run_sweep_shard`] / [`SweepReport::merge`], and control-law A/B
+//!   contrasts pair seeds via [`Sweep::with_common_random_numbers`] and
+//!   [`paired_diff`].
 //!
 //! # Example
 //!
@@ -56,14 +63,61 @@
 pub mod artifact;
 pub mod ensemble;
 pub mod exec;
+pub mod pool;
 pub mod scenario;
 pub mod sweep;
 
-pub use artifact::{results_dir, write_json};
-pub use ensemble::{aggregate, Ensemble, EnsembleStats, Stat};
+pub use artifact::{
+    load_sweep_report, merge_sweep_shards, results_dir, write_json, write_sweep_shard,
+};
+pub use ensemble::{aggregate, paired_diff, CellAccum, Ensemble, EnsembleStats, Stat};
 pub use exec::{
-    run_cells, run_indexed, run_indexed_with, run_sweep, run_sweep_on, thread_count, AxisReport,
-    CellReport, SweepReport,
+    pool_enabled, run_cells, run_indexed, run_indexed_scoped, run_indexed_with, run_sweep,
+    run_sweep_on, run_sweep_shard, run_sweep_unpooled, thread_count, AxisReport, CellReport, Shard,
+    SweepReport,
 };
 pub use scenario::Scenario;
 pub use sweep::{derive_seed, Axis, Cell, Sweep};
+
+#[cfg(test)]
+pub(crate) mod test_env {
+    //! Shared lock for tests that touch process-global environment
+    //! variables (`FPK_THREADS`, `FPK_POOL`, `FPK_RESULTS_DIR`): the
+    //! test runner is threaded, so an unguarded `set_var` in one test
+    //! races every other test that reads the same variable.
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Hold the guard for the whole env-mutating (or env-sensitive)
+    /// test. Poisoning is ignored: a failed test must not cascade.
+    pub(crate) fn lock() -> MutexGuard<'static, ()> {
+        ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Snapshot one variable's current value and restore it on drop, so
+    /// an env-mutating test cannot clobber an externally-set override
+    /// (CI pins `FPK_THREADS=1` for a whole test run).
+    pub(crate) struct VarGuard {
+        key: &'static str,
+        prev: Option<std::ffi::OsString>,
+    }
+
+    impl VarGuard {
+        pub(crate) fn capture(key: &'static str) -> Self {
+            Self {
+                key,
+                prev: std::env::var_os(key),
+            }
+        }
+    }
+
+    impl Drop for VarGuard {
+        fn drop(&mut self) {
+            match &self.prev {
+                Some(v) => std::env::set_var(self.key, v),
+                None => std::env::remove_var(self.key),
+            }
+        }
+    }
+}

@@ -209,6 +209,7 @@ pub struct Sweep {
     base: Scenario,
     axes: Vec<Axis>,
     base_seed: u64,
+    crn: bool,
 }
 
 impl Sweep {
@@ -219,6 +220,7 @@ impl Sweep {
             base,
             axes: Vec::new(),
             base_seed,
+            crn: false,
         }
     }
 
@@ -227,6 +229,25 @@ impl Sweep {
     pub fn axis(mut self, axis: Axis) -> Self {
         self.axes.push(axis);
         self
+    }
+
+    /// Pair the grid with common random numbers: every cell gets the
+    /// *same* cell seed (cell 0's), so replication `r` runs on an
+    /// identical seed in every cell and cross-cell differences become
+    /// paired comparisons — the shared arrival/service noise cancels,
+    /// shrinking the variance of A−B contrasts between control laws
+    /// (see [`crate::ensemble::paired_diff`]). Default off: independent
+    /// per-cell streams.
+    #[must_use]
+    pub fn with_common_random_numbers(mut self) -> Self {
+        self.crn = true;
+        self
+    }
+
+    /// True when cells share one seed stream (CRN pairing).
+    #[must_use]
+    pub fn common_random_numbers(&self) -> bool {
+        self.crn
     }
 
     /// Name of the base scenario.
@@ -291,7 +312,7 @@ impl Sweep {
             cells.push(Cell {
                 index,
                 coords,
-                seed: derive_seed(self.base_seed, index as u64),
+                seed: derive_seed(self.base_seed, if self.crn { 0 } else { index as u64 }),
                 scenario,
             });
         }
@@ -490,6 +511,21 @@ mod tests {
         let cells = Sweep::new(base, 3).axis(Axis::hop_count(vec![4.0])).cells();
         let routes = cells[0].scenario.routes.as_ref().unwrap();
         assert_eq!(routes[0], fpk_sim::Route::single(0), "pin preserved");
+    }
+
+    #[test]
+    fn crn_pairs_every_cell_on_one_seed_stream() {
+        let plain = Sweep::new(base(), 42).axis(Axis::mu(vec![10.0, 20.0, 30.0]));
+        let crn = plain.clone().with_common_random_numbers();
+        assert!(!plain.common_random_numbers());
+        assert!(crn.common_random_numbers());
+        let cells = crn.cells();
+        // Every cell shares cell 0's seed — replication r is seed-paired
+        // across the whole grid.
+        assert!(cells.iter().all(|c| c.seed == cells[0].seed));
+        assert_eq!(cells[0].seed, plain.cells()[0].seed);
+        // Scenario parameters still vary; only the noise is shared.
+        assert_eq!(cells[2].scenario.config.mu, 30.0);
     }
 
     #[test]

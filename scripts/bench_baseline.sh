@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Run the six criterion benches in quick mode and merge their results
 # into one machine-readable baseline, BENCH_baseline.json.
-# `scenario_grid` times the fpk-scenarios sweep runner serial vs
-# parallel (the parallel row is always present, even on 1-CPU hosts, so
-# the serial-vs-parallel speedup is tracked across PRs), and
-# `event_queue` pits the hand-rolled indexed event heap against a
-# reference BinaryHeap.
+# `scenario_grid` times the fpk-scenarios sweep runner at three grid
+# sizes sharing one short-run base workload at 5 replications per cell
+# (small/medium/large — a 6-cell table grid, a 24-cell table grid, a
+# 1000-cell stress slice): `serial/<size>` is the legacy unpooled
+# executor at width 1, `parallel/<size>` is the production persistent-
+# pool streaming executor at machine width. The parallel row must beat
+# serial at every size — that ratio is the regression this bench
+# exists to catch; the group overrides the quick-mode sample cap
+# because the margin is a few percent. `event_queue` pits the
+# hand-rolled indexed event heap against a reference BinaryHeap.
 #
 # Quick mode (FPK_BENCH_QUICK=1, honoured by the vendored criterion —
 # see DESIGN.md §Vendoring) cuts per-sample time and sample counts hard:

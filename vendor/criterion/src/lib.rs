@@ -175,6 +175,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
+            sample_size: None,
         }
     }
 
@@ -257,9 +258,21 @@ fn fmt_ns(ns: f64) -> String {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    sample_size: Option<usize>,
 }
 
 impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group,
+    /// overriding the `Criterion`-level setting. Unlike the global
+    /// default, an explicit group override is honoured even in quick
+    /// mode (`FPK_BENCH_QUICK=1`): a group that opts in has decided its
+    /// margins are too small for the five-sample smoke cap to resolve,
+    /// and takes responsibility for the extra runtime.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
     /// Run one benchmark inside the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
@@ -267,7 +280,9 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
-        let sample_size = self.criterion.effective_sample_size();
+        let sample_size = self
+            .sample_size
+            .unwrap_or_else(|| self.criterion.effective_sample_size());
         let quick = self.criterion.quick;
         self.criterion.run_one(full, sample_size, quick, f);
         self
@@ -342,5 +357,25 @@ mod tests {
             g.finish();
         }
         assert_eq!(c.records[0].id, "grp/8");
+    }
+
+    #[test]
+    fn group_sample_size_overrides_even_in_quick_mode() {
+        let mut c = Criterion {
+            sample_size: 100,
+            quick: true,
+            records: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("capped", |b| b.iter(|| black_box(1u64) + 1));
+            g.sample_size(9);
+            g.bench_function("overridden", |b| b.iter(|| black_box(1u64) + 1));
+            g.finish();
+        }
+        // Without an override, quick mode caps at 5 samples; the group
+        // override stands as given.
+        assert_eq!(c.records[0].samples, 5);
+        assert_eq!(c.records[1].samples, 9);
     }
 }

@@ -1,10 +1,17 @@
 //! Vendored minimal subset of `serde_json`: render any
-//! `serde::Serialize` as JSON text. Write-only — the workspace only emits
-//! experiment artefacts; it never parses JSON back.
+//! `serde::Serialize` as JSON text, and parse JSON text back into the
+//! self-describing [`serde::Value`] tree ([`from_str`]). The typed
+//! `Deserialize` path of real serde is not implemented — callers that
+//! read artefacts back (e.g. the sweep-shard merger in `fpk-scenarios`)
+//! map the `Value` tree into their structs by hand.
 //!
 //! The container this repository builds in has no access to crates.io, so
 //! the workspace vendors the few externals it needs (see `DESIGN.md`,
 //! §Vendoring).
+//!
+//! Floats are written with Rust's shortest-roundtrip `{}` formatting, so
+//! `write → from_str → write` reproduces artefact bytes exactly — the
+//! property the cross-process sweep-shard merge relies on.
 //!
 //! ```
 //! #[derive(serde::Serialize)]
@@ -12,6 +19,8 @@
 //! let json = serde_json::to_string_pretty(&Row { n: 3, err: 0.25 }).unwrap();
 //! assert!(json.contains("\"n\": 3"));
 //! assert!(json.contains("\"err\": 0.25"));
+//! let back = serde_json::from_str(&json).unwrap();
+//! assert_eq!(back.get("n").and_then(serde::Value::as_f64), Some(3.0));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -136,6 +145,221 @@ fn write_f64(out: &mut String, x: f64) {
     }
 }
 
+/// Parse JSON text into a [`Value`] tree.
+///
+/// Number mapping mirrors the writer: tokens with a `.` or exponent
+/// become `Value::Float`, other non-negative integers `Value::UInt`
+/// (so `u64` seeds round-trip exactly), negative integers `Value::Int`.
+/// Integers too large for those types fall back to `Value::Float`.
+///
+/// # Errors
+/// [`Error`] with a byte offset when the input is not valid JSON or has
+/// trailing non-whitespace.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("unexpected token"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|()| Value::Null),
+            Some(b't') => self.eat("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected '\"'"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for the BMP
+                            // names this workspace writes; reject them
+                            // loudly rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("unpaired surrogate in \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number {text:?} at byte {start}")))
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -183,6 +407,74 @@ mod tests {
             pretty.contains("\"a\": [\n    1,\n    2.5\n  ]"),
             "{pretty}"
         );
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output_byte_for_byte() {
+        let v = Value::Object(vec![
+            ("seed".into(), Value::UInt(u64::MAX)),
+            ("neg".into(), Value::Int(-7)),
+            (
+                "xs".into(),
+                Value::Array(vec![
+                    Value::Float(2.5),
+                    Value::Float(1.0),
+                    Value::Float(0.1 + 0.2),
+                    Value::Float(-0.0),
+                    Value::Null,
+                    Value::Bool(true),
+                ]),
+            ),
+            (
+                "name".into(),
+                Value::Str("grid[mu=20,flows=2]\n\"q\"".into()),
+            ),
+            ("empty".into(), Value::Object(vec![])),
+        ]);
+        struct W(Value);
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        for render in [to_string, to_string_pretty] {
+            let text = render(&W(v.clone())).unwrap();
+            let parsed = from_str(&text).unwrap();
+            // Reserialising the parsed tree reproduces the bytes exactly
+            // (shortest-roundtrip floats), which is what the sweep-shard
+            // merge relies on.
+            assert_eq!(render(&W(parsed)).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "nul",
+            "[1 2]",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_maps_numbers_like_the_writer() {
+        let v = from_str("[0, 18446744073709551615, -3, 2.5, 1e3, 0.000000000001]").unwrap();
+        let Value::Array(items) = v else { panic!() };
+        assert_eq!(items[0], Value::UInt(0));
+        assert_eq!(items[1], Value::UInt(u64::MAX));
+        assert_eq!(items[2], Value::Int(-3));
+        assert_eq!(items[3], Value::Float(2.5));
+        assert_eq!(items[4], Value::Float(1000.0));
+        assert_eq!(items[5], Value::Float(1e-12));
     }
 
     #[test]
