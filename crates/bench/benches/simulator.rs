@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpk_congestion::{LinearExp, WindowAimd};
 use fpk_sim::{
-    run, run_network, FlowSpec, Link, NetConfig, Route, Service, SimConfig, SourceSpec, Topology,
-    TraceMode,
+    run, run_network, run_network_workload, ArrivalProcess, FlowSizeDist, FlowSpec, Link,
+    NetConfig, Route, Service, SimConfig, SourceSpec, Topology, TraceMode, Workload,
 };
 use std::hint::black_box;
 
@@ -111,10 +111,35 @@ fn bench_network_by_hops(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_finite_flows(c: &mut Criterion) {
+    // Open-loop workload churn: ~4000 two-packet flows at ρ = 0.4
+    // through one deterministic bottleneck, slot recycling on. Times
+    // the per-flow path the workload layer added — arrival draws, slot
+    // alloc/recycle through the free list, FCT/slowdown accounting —
+    // on top of the ordinary packet machinery.
+    c.bench_function("sim_finite_flows", |b| {
+        let workload = Workload::new(
+            ArrivalProcess::Poisson { rate: 200.0 },
+            FlowSizeDist::Deterministic { packets: 2 },
+            vec![Route::single(0)],
+        );
+        let net = NetConfig {
+            topology: Topology::single(1000.0, Service::Deterministic, None),
+            faults: Vec::new(),
+            t_end: 20.0,
+            warmup: 2.0,
+            sample_interval: 0.5,
+            seed: 5,
+            trace: TraceMode::Full,
+        };
+        b.iter(|| run_network_workload(black_box(&net), &[], black_box(&workload)).expect("sim"));
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_rate_flows, bench_window_flows, bench_service_disciplines,
-        bench_network_by_hops
+        bench_network_by_hops, bench_finite_flows
 }
 criterion_main!(benches);

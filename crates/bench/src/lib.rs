@@ -19,6 +19,7 @@
 //! | `fig7_density_evolution`| §4       | f(t, q, ν) transport snapshots |
 //! | `tbl6_ablation_limiter` | ablation | limiter choice vs numerical diffusion |
 //! | `tbl7_ablation_grid`    | ablation | grid/Δt refinement convergence |
+//! | `fig_fct_vs_load`       | extension | finite-flow FCT/slowdown vs offered load; deterministic-size rows pinned to Pollaczek–Khinchine (DESIGN §3f) |
 //!
 //! Every binary prints a human-readable table to stdout **and** writes a
 //! JSON artefact to `results/` so `EXPERIMENTS.md` can be regenerated

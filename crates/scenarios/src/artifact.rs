@@ -11,7 +11,7 @@
 //! shortest-roundtrip form, so load → merge → re-serialise reproduces
 //! an unsharded report byte for byte.
 
-use crate::ensemble::{EnsembleStats, Stat};
+use crate::ensemble::{EnsembleStats, Stat, WorkloadEnsemble};
 use crate::exec::{AxisReport, CellReport, Shard, SweepReport};
 use fpk_numerics::Result;
 use serde::{Serialize, Value};
@@ -183,6 +183,26 @@ fn stats_from(v: &Value, path: &Path) -> EnsembleStats {
             Value::Null => None,
             s => Some(stat_from(s, path)),
         },
+        // Absent in pre-workload checkpoint files: default to None
+        // rather than panicking, so old shards stay loadable.
+        workload: match v.get("workload") {
+            None | Some(Value::Null) => None,
+            Some(w) => Some(workload_ensemble_from(w, path)),
+        },
+    }
+}
+
+fn workload_ensemble_from(v: &Value, path: &Path) -> WorkloadEnsemble {
+    let stat = |key| stat_from(field(v, key, path), path);
+    WorkloadEnsemble {
+        arrived: stat("arrived"),
+        completed: stat("completed"),
+        fct_mean: stat("fct_mean"),
+        fct_p50: stat("fct_p50"),
+        fct_p99: stat("fct_p99"),
+        slowdown_mean: stat("slowdown_mean"),
+        slowdown_p99: stat("slowdown_p99"),
+        peak_active: stat("peak_active"),
     }
 }
 

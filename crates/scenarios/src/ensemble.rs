@@ -75,6 +75,34 @@ pub struct EnsembleStats {
     /// Queue-oscillation amplitude over the replications whose trace
     /// tail oscillated (`None` when no replication did).
     pub oscillation_amplitude: Option<Stat>,
+    /// Finite-flow workload statistics, `Some` iff the replications
+    /// carried a workload (presence must agree across replications).
+    pub workload: Option<WorkloadEnsemble>,
+}
+
+/// Replication-aggregated finite-flow statistics: each field is the
+/// [`Stat`] of one per-run [`fpk_sim::WorkloadStats`] scalar across the
+/// ensemble (e.g. `fct_p99` is the mean-of-per-run-p99s, not the p99 of
+/// the pooled samples — per-run first, then across runs, like every
+/// other ensemble field).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadEnsemble {
+    /// Flows admitted within the horizon.
+    pub arrived: Stat,
+    /// Flows that accounted every packet.
+    pub completed: Stat,
+    /// Per-run mean flow completion time (s).
+    pub fct_mean: Stat,
+    /// Per-run median FCT (s).
+    pub fct_p50: Stat,
+    /// Per-run 99th-percentile FCT (s).
+    pub fct_p99: Stat,
+    /// Per-run mean slowdown (FCT / ideal FCT).
+    pub slowdown_mean: Stat,
+    /// Per-run 99th-percentile slowdown.
+    pub slowdown_p99: Stat,
+    /// Per-run peak concurrently-active flow count.
+    pub peak_active: Stat,
 }
 
 /// Replication policy: how many seeds per cell.
@@ -142,6 +170,48 @@ pub struct CellAccum {
     flow_ctl_std: Vec<RunningStats>,
     /// Only replications whose trace tail oscillated push here.
     oscillation: RunningStats,
+    /// Workload accumulators, allocated iff the first summary carried
+    /// workload stats; later presence disagreement errors.
+    wl: Option<WlAccum>,
+}
+
+/// The [`RunningStats`] behind one [`WorkloadEnsemble`].
+#[derive(Default)]
+struct WlAccum {
+    arrived: RunningStats,
+    completed: RunningStats,
+    fct_mean: RunningStats,
+    fct_p50: RunningStats,
+    fct_p99: RunningStats,
+    slowdown_mean: RunningStats,
+    slowdown_p99: RunningStats,
+    peak_active: RunningStats,
+}
+
+impl WlAccum {
+    fn push(&mut self, w: &fpk_sim::WorkloadStats) {
+        self.arrived.push(w.arrived as f64);
+        self.completed.push(w.completed as f64);
+        self.fct_mean.push(w.fct.mean);
+        self.fct_p50.push(w.fct.p50);
+        self.fct_p99.push(w.fct.p99);
+        self.slowdown_mean.push(w.slowdown.mean);
+        self.slowdown_p99.push(w.slowdown.p99);
+        self.peak_active.push(w.peak_active as f64);
+    }
+
+    fn finish(&self) -> WorkloadEnsemble {
+        WorkloadEnsemble {
+            arrived: Stat::from_running(&self.arrived),
+            completed: Stat::from_running(&self.completed),
+            fct_mean: Stat::from_running(&self.fct_mean),
+            fct_p50: Stat::from_running(&self.fct_p50),
+            fct_p99: Stat::from_running(&self.fct_p99),
+            slowdown_mean: Stat::from_running(&self.slowdown_mean),
+            slowdown_p99: Stat::from_running(&self.slowdown_p99),
+            peak_active: Stat::from_running(&self.peak_active),
+        }
+    }
 }
 
 impl CellAccum {
@@ -166,11 +236,16 @@ impl CellAccum {
         if self.replications == 0 {
             self.flow_throughput = vec![RunningStats::new(); s.throughputs.len()];
             self.flow_ctl_std = vec![RunningStats::new(); s.ctl_std.len()];
+            self.wl = s.workload.as_ref().map(|_| WlAccum::default());
         } else if s.throughputs.len() != self.flow_throughput.len()
             || s.ctl_std.len() != self.flow_ctl_std.len()
         {
             return Err(NumericsError::InvalidParameter {
                 context: "aggregate: replications disagree on flow count",
+            });
+        } else if s.workload.is_some() != self.wl.is_some() {
+            return Err(NumericsError::InvalidParameter {
+                context: "aggregate: replications disagree on workload presence",
             });
         }
         self.replications += 1;
@@ -187,6 +262,9 @@ impl CellAccum {
         }
         if let Some(o) = &s.queue_oscillation {
             self.oscillation.push(o.amplitude);
+        }
+        if let (Some(acc), Some(w)) = (&mut self.wl, &s.workload) {
+            acc.push(w);
         }
         Ok(())
     }
@@ -219,6 +297,7 @@ impl CellAccum {
             } else {
                 Some(Stat::from_running(&self.oscillation))
             },
+            workload: self.wl.as_ref().map(WlAccum::finish),
         })
     }
 }

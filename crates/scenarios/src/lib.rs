@@ -70,7 +70,9 @@ pub mod sweep;
 pub use artifact::{
     load_sweep_report, merge_sweep_shards, results_dir, write_json, write_sweep_shard,
 };
-pub use ensemble::{aggregate, paired_diff, CellAccum, Ensemble, EnsembleStats, Stat};
+pub use ensemble::{
+    aggregate, paired_diff, CellAccum, Ensemble, EnsembleStats, Stat, WorkloadEnsemble,
+};
 pub use exec::{
     pool_enabled, run_cells, run_indexed, run_indexed_scoped, run_indexed_with, run_sweep,
     run_sweep_on, run_sweep_shard, run_sweep_unpooled, thread_count, AxisReport, CellReport, Shard,

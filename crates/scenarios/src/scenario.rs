@@ -14,8 +14,8 @@
 
 use fpk_numerics::{NumericsError, Result};
 use fpk_sim::{
-    run_network_summary, FaultConfig, FlowSpec, NetArena, NetConfig, Route, RunSummary, SimConfig,
-    SourceSpec, Topology, TraceMode,
+    run_network_summary, run_network_workload_summary, FaultConfig, FlowSpec, NetArena, NetConfig,
+    Route, RunSummary, SimConfig, SourceSpec, Topology, TraceMode, Workload,
 };
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +45,12 @@ pub struct Scenario {
     /// Per-hop fault overrides (one entry per link). `None` = replicate
     /// [`Self::faults`] at every hop.
     pub hop_faults: Option<Vec<FaultConfig>>,
+    /// Finite-flow workload running alongside (or instead of) the
+    /// static `sources`: open-loop arrivals, flow sizes, Zipf route
+    /// popularity. When set, the summary's
+    /// [`RunSummary::workload`] carries FCT/slowdown statistics.
+    /// `sources` may be empty iff this is set.
+    pub workload: Option<Workload>,
     /// Fraction of the queue trace analysed for oscillation in the
     /// summary (validated by `fpk_sim::metrics`).
     pub tail_fraction: f64,
@@ -63,6 +69,7 @@ impl Scenario {
             topology: None,
             routes: None,
             hop_faults: None,
+            workload: None,
             tail_fraction: 0.5,
         }
     }
@@ -94,6 +101,14 @@ impl Scenario {
     #[must_use]
     pub fn with_hop_faults(mut self, hop_faults: Vec<FaultConfig>) -> Self {
         self.hop_faults = Some(hop_faults);
+        self
+    }
+
+    /// Attach a finite-flow workload (open-loop arrivals over the
+    /// effective topology). With a workload, `sources` may be empty.
+    #[must_use]
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
         self
     }
 
@@ -176,7 +191,10 @@ impl Scenario {
     /// Same contract as [`Self::run_seeded`].
     pub fn run_seeded_in(&self, arena: &mut NetArena, seed: u64) -> Result<RunSummary> {
         let (net, flows) = self.network(seed)?;
-        run_network_summary(arena, &net, &flows, self.tail_fraction)
+        match &self.workload {
+            Some(w) => run_network_workload_summary(arena, &net, &flows, w, self.tail_fraction),
+            None => run_network_summary(arena, &net, &flows, self.tail_fraction),
+        }
     }
 }
 

@@ -188,6 +188,70 @@ impl Axis {
             }
         })
     }
+
+    /// Sweep the offered load ρ of the scenario's workload: the flow
+    /// arrival rate is set to `ρ · μ_min / E[size]`, where `μ_min` is
+    /// the slowest link of the effective topology (the bottleneck) and
+    /// `E[size]` the mean flow size — so `ρ = 1` offers exactly the
+    /// bottleneck capacity in workload packets. No-op on scenarios
+    /// without a workload.
+    #[must_use]
+    pub fn load_rho(values: Vec<f64>) -> Self {
+        Self::new("rho", values, |sc, v| {
+            let mu_min = sc
+                .effective_topology()
+                .links
+                .iter()
+                .map(|l| l.mu)
+                .fold(f64::INFINITY, f64::min);
+            if let Some(w) = &mut sc.workload {
+                w.arrivals.set_rate(v * mu_min / w.sizes.mean());
+            }
+        })
+    }
+
+    /// Sweep the workload's flow-size distribution *shape* at constant
+    /// mean: `round(v)` selects 0 = deterministic, 1 = exponential,
+    /// ≥ 2 = heavy-tailed bounded Pareto (α = 0.6, `max` bisected to
+    /// hit the mean — mice and elephants). The mean packet count of the
+    /// base distribution is preserved, so the offered load does not
+    /// move along this axis. No-op on scenarios without a workload.
+    #[must_use]
+    pub fn flow_size_dist(values: Vec<f64>) -> Self {
+        Self::new("sizedist", values, |sc, v| {
+            if let Some(w) = &mut sc.workload {
+                let mean = w.sizes.mean();
+                w.sizes = match v.round() as i64 {
+                    0 => fpk_sim::FlowSizeDist::Deterministic {
+                        packets: mean.round().max(1.0) as u64,
+                    },
+                    1 => fpk_sim::FlowSizeDist::Exponential { mean },
+                    _ => fpk_sim::FlowSizeDist::bounded_pareto_with_mean(1.0, 0.6, mean)
+                        .unwrap_or(fpk_sim::FlowSizeDist::Exponential { mean }),
+                };
+            }
+        })
+    }
+
+    /// Sweep the workload's arrival burstiness: `v ≤ 1` keeps Poisson
+    /// arrivals (the memoryless baseline), `v > 1` switches to Pareto
+    /// interarrivals with tail exponent α = v at the same mean rate —
+    /// smaller α (closer to 1) is burstier, with infinite gap variance
+    /// for α ≤ 2. The tbl11 traffic-variability story at flow
+    /// granularity. No-op on scenarios without a workload.
+    #[must_use]
+    pub fn arrival_burstiness(values: Vec<f64>) -> Self {
+        Self::new("burst", values, |sc, v| {
+            if let Some(w) = &mut sc.workload {
+                let rate = w.arrivals.rate();
+                w.arrivals = if v > 1.0 {
+                    fpk_sim::ArrivalProcess::Pareto { rate, alpha: v }
+                } else {
+                    fpk_sim::ArrivalProcess::Poisson { rate }
+                };
+            }
+        })
+    }
 }
 
 /// One cell of the expanded grid.

@@ -92,6 +92,15 @@ pub enum EventKind {
         /// Index of the toggling flow.
         flow: usize,
     },
+    /// The next finite flow of the run's `Workload` arrives
+    /// (self-rescheduling open-loop clock; see DESIGN §3f).
+    FlowArrival,
+    /// Finite flow `flow` has accounted its last packet (delivered or
+    /// dropped) and departs, releasing its arena slot.
+    FlowComplete {
+        /// Index of the completing flow (≥ the static-flow count).
+        flow: usize,
+    },
     /// Periodic statistics sampling.
     Sample,
 }

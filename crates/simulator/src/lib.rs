@@ -21,6 +21,10 @@
 //! * [`engine`] — the classic single-bottleneck API, now a 1-link shim
 //!   over [`network`] (bit-identical to the historical engine).
 //! * [`tandem`] — the legacy K-queue window-flows API, also a shim.
+//! * [`workload`] — finite-flow populations: open-loop arrivals
+//!   (Poisson / heavy-tailed Pareto), flow-size distributions, Zipf
+//!   route popularity, and FCT/slowdown summaries
+//!   ([`run_network_workload`]).
 //! * [`metrics`] — fairness/oscillation summaries and theory comparisons.
 //!
 //! Every run is reproducible from its seed; `EXPERIMENTS.md` (workspace
@@ -58,12 +62,18 @@ pub mod metrics;
 pub mod network;
 pub mod source;
 pub mod tandem;
+pub mod workload;
 
 pub use engine::{run, run_with_faults, FaultConfig, FlowStats, Service, SimConfig, SimResult};
-pub use metrics::{run_network_summary, summarize, summarize_network, RunSummary};
+pub use metrics::{
+    run_network_summary, run_network_workload_summary, summarize, summarize_network, RunSummary,
+};
 pub use network::{
-    run_network, run_network_in, FlowSpec, Link, NetArena, NetConfig, NetFlowStats, NetResult,
-    Route, Topology, TraceMode,
+    run_network, run_network_in, run_network_workload, run_network_workload_in, FlowSpec, Link,
+    NetArena, NetConfig, NetFlowStats, NetResult, Route, Topology, TraceMode,
 };
 pub use source::SourceSpec;
 pub use tandem::{run_tandem, TandemConfig, TandemFlow, TandemFlowStats, TandemResult};
+pub use workload::{
+    ideal_fct, zipf_weights, ArrivalProcess, DistSummary, FlowSizeDist, Workload, WorkloadStats,
+};

@@ -4,6 +4,7 @@
 
 use crate::engine::SimResult;
 use crate::network::{run_network_core, FlowSpec, NetArena, NetConfig, NetResult, TraceMode};
+use crate::workload::{Workload, WorkloadStats};
 use fpk_numerics::signal::{analyze_oscillation, Oscillation};
 use fpk_numerics::{NumericsError, Result};
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,10 @@ pub struct RunSummary {
     /// or on/off phase) over the analysed trace tail — the
     /// control-variability number the DECbit experiments report.
     pub ctl_std: Vec<f64>,
+    /// Finite-flow outcome (FCT/slowdown summaries, conservation
+    /// counters), `Some` iff the run carried a
+    /// [`Workload`].
+    pub workload: Option<WorkloadStats>,
 }
 
 /// Summarise a simulation result, analysing the final `tail_fraction` of
@@ -51,6 +56,7 @@ pub fn summarize(result: &SimResult, tail_fraction: f64) -> Result<RunSummary> {
         total_dropped: result.flows.iter().map(|f| f.dropped).sum(),
         ctl_std,
         throughputs,
+        workload: None,
     })
 }
 
@@ -124,7 +130,7 @@ fn tail_ctl_std_flat(flat: &[f64], n_flows: usize, tail_fraction: f64) -> Vec<f6
 pub fn summarize_network(result: &NetResult, tail_fraction: f64) -> Result<RunSummary> {
     validate_tail(tail_fraction, result.trace_t.len())?;
     let throughputs: Vec<f64> = result.flows.iter().map(|f| f.throughput).collect();
-    let jain = fpk_congestion::fairness::jain_index(&throughputs)?;
+    let jain = jain_or_unit(&throughputs)?;
     let bottleneck = result.bottleneck_hop();
     let queue_oscillation =
         analyze_oscillation(&result.trace_t, &result.trace_q[bottleneck], tail_fraction)?;
@@ -132,12 +138,39 @@ pub fn summarize_network(result: &NetResult, tail_fraction: f64) -> Result<RunSu
     Ok(RunSummary {
         jain,
         mean_queue: fpk_numerics::stats::mean(&result.mean_queue),
-        utilization: result.total_throughput / result.capacity,
+        utilization: net_utilization(result),
         queue_oscillation,
         total_dropped: result.flows.iter().map(|f| f.dropped).sum(),
         ctl_std,
         throughputs,
+        workload: result.workload.clone(),
     })
+}
+
+/// Jain index of the static flows' throughputs, defined as the
+/// degenerate 1.0 for a workload-only run with no static flows (the
+/// index is a static-flow fairness number; finite flows report FCT
+/// percentiles instead).
+fn jain_or_unit(throughputs: &[f64]) -> Result<f64> {
+    if throughputs.is_empty() {
+        Ok(1.0)
+    } else {
+        fpk_congestion::fairness::jain_index(throughputs)
+    }
+}
+
+/// Utilisation summary of a network run. Static runs keep the historic
+/// definition (delivered end-to-end throughput over aggregate capacity
+/// — bit-identical to the pre-workload engine); runs carrying a
+/// workload use the mean per-hop utilisation, which counts workload
+/// packets (finite flows have no per-flow `throughput`, so the
+/// throughput-based ratio would read ~0 under pure workload traffic).
+fn net_utilization(result: &NetResult) -> f64 {
+    if result.workload.is_some() {
+        fpk_numerics::stats::mean(&result.utilization)
+    } else {
+        result.total_throughput / result.capacity
+    }
 }
 
 /// Run a network simulation and summarise it in one step, recording
@@ -159,10 +192,37 @@ pub fn run_network_summary(
     flows: &[FlowSpec],
     tail_fraction: f64,
 ) -> Result<RunSummary> {
-    let out = run_network_core(arena, config, flows, TraceMode::Summary)?;
+    let out = run_network_core(arena, config, flows, None, TraceMode::Summary)?;
+    arena_summary(arena, out, tail_fraction)
+}
+
+/// [`run_network_summary`] for a run carrying a finite-flow
+/// [`Workload`]: the workload analogue of the sweep fast path, with the
+/// FCT/slowdown summaries landing in [`RunSummary::workload`].
+///
+/// # Errors
+/// Propagates [`crate::run_network_workload`] validation errors and the
+/// [`summarize`] contract (trace shorter than three samples, bad
+/// `tail_fraction`).
+pub fn run_network_workload_summary(
+    arena: &mut NetArena,
+    config: &NetConfig,
+    flows: &[FlowSpec],
+    workload: &Workload,
+    tail_fraction: f64,
+) -> Result<RunSummary> {
+    let out = run_network_core(arena, config, flows, Some(workload), TraceMode::Summary)?;
+    arena_summary(arena, out, tail_fraction)
+}
+
+/// Summary arithmetic shared by the two arena fast paths. Identical
+/// field-for-field to [`summarize_network`] modulo the flattened
+/// control-trace layout, so the Full-trace and arena paths cannot
+/// drift apart.
+fn arena_summary(arena: &NetArena, out: NetResult, tail_fraction: f64) -> Result<RunSummary> {
     validate_tail(tail_fraction, arena.trace_t.len())?;
     let throughputs: Vec<f64> = out.flows.iter().map(|f| f.throughput).collect();
-    let jain = fpk_congestion::fairness::jain_index(&throughputs)?;
+    let jain = jain_or_unit(&throughputs)?;
     let bottleneck = out.bottleneck_hop();
     let queue_oscillation =
         analyze_oscillation(&arena.trace_t, &arena.trace_q[bottleneck], tail_fraction)?;
@@ -170,11 +230,12 @@ pub fn run_network_summary(
     Ok(RunSummary {
         jain,
         mean_queue: fpk_numerics::stats::mean(&out.mean_queue),
-        utilization: out.total_throughput / out.capacity,
+        utilization: net_utilization(&out),
         queue_oscillation,
         total_dropped: out.flows.iter().map(|f| f.dropped).sum(),
         ctl_std,
         throughputs,
+        workload: out.workload,
     })
 }
 

@@ -26,6 +26,7 @@
 use crate::engine::{FaultConfig, Service};
 use crate::event::{EventKind, EventQueue};
 use crate::source::{rate_update, window_on_ack, SourceSpec, SourceState};
+use crate::workload::{ideal_fct, sample_cumulative, DistSummary, Workload, WorkloadStats};
 use fpk_congestion::decbit::QueueAverager;
 use fpk_numerics::{NumericsError, Result};
 use rand::rngs::StdRng;
@@ -192,7 +193,7 @@ pub struct NetConfig {
 }
 
 impl NetConfig {
-    fn validate(&self, flows: &[FlowSpec]) -> Result<()> {
+    fn validate(&self, flows: &[FlowSpec], workload: Option<&Workload>) -> Result<()> {
         if self.topology.is_empty() {
             return Err(NumericsError::InvalidParameter {
                 context: "NetConfig: need at least one link",
@@ -227,10 +228,13 @@ impl NetConfig {
                 context: "NetConfig: loss_prob must lie in [0, 1)",
             });
         }
-        if flows.is_empty() {
+        if flows.is_empty() && workload.is_none() {
             return Err(NumericsError::InvalidParameter {
                 context: "run_network: need at least one flow",
             });
+        }
+        if let Some(w) = workload {
+            w.validate(&self.topology)?;
         }
         // FIFO entries pack the flow index into 31 bits (bit 31 carries
         // the congestion mark).
@@ -338,6 +342,11 @@ pub struct NetResult {
     /// Aggregate capacity Σ μ over the links (for a 1-link topology this
     /// is exactly the bottleneck μ).
     pub capacity: f64,
+    /// Finite-flow outcome, `Some` iff the run carried a [`Workload`]
+    /// (see [`run_network_workload`]). Workload packets count toward
+    /// per-hop `utilization`/`mean_queue` but not `flows` /
+    /// `total_throughput`, which stay static-flow quantities.
+    pub workload: Option<WorkloadStats>,
 }
 
 impl NetResult {
@@ -379,6 +388,15 @@ pub struct NetArena {
     pub(crate) trace_q: Vec<Vec<f64>>,
     /// Flattened control trace, stride = flow count (row per sample).
     pub(crate) trace_ctl: Vec<f64>,
+    /// Per-slot finite-flow state (slot `s` is flow `n_static + s`).
+    dyn_flows: Vec<DynFlow>,
+    /// Free list of retired workload slots, reused LIFO so a 10⁵-flow
+    /// run holds O(active flows) per-flow state.
+    dyn_free: Vec<u32>,
+    /// Clean post-warm-up flow completion times (sorted at finalize).
+    fcts: Vec<f64>,
+    /// Matching slowdown samples (FCT / ideal FCT).
+    slowdowns: Vec<f64>,
 }
 
 impl NetArena {
@@ -411,6 +429,10 @@ impl NetArena {
         }
         self.trace_q.resize_with(k, Vec::new);
         self.trace_ctl.clear();
+        self.dyn_flows.clear();
+        self.dyn_free.clear();
+        self.fcts.clear();
+        self.slowdowns.clear();
         if trace != TraceMode::Off {
             self.trace_t.reserve(n_samples);
             for q in &mut self.trace_q {
@@ -462,6 +484,50 @@ struct HopState {
     busy: bool,
 }
 
+/// Per-slot state of one finite workload flow. A slot is live from its
+/// `FlowArrival` until the `FlowComplete` fired by its last accounted
+/// packet; with recycling the slot then returns to the free list.
+#[derive(Debug, Clone, Copy, Default)]
+struct DynFlow {
+    /// Flow size in packets.
+    size: u64,
+    /// Packets accounted so far (delivered + dropped); the flow
+    /// completes when this reaches `size`.
+    accounted: u64,
+    /// Packets that exited the last hop.
+    delivered: u64,
+    /// Arrival instant (FCT reference point).
+    arrival_t: f64,
+    /// Idle-network FCT (slowdown denominator).
+    ideal: f64,
+}
+
+/// Running workload counters (ungated by warm-up: conservation must be
+/// exact over the whole run).
+#[derive(Debug, Default)]
+struct WlCounters {
+    arrived: u64,
+    completed: u64,
+    completed_clean: u64,
+    packets_sent: u64,
+    packets_delivered: u64,
+    packets_dropped: u64,
+    active: u64,
+    peak_active: u64,
+}
+
+/// Account one terminal packet outcome (delivered or dropped) to a
+/// finite flow, firing its `FlowComplete` when the last packet lands.
+/// A free function (not a closure) so call sites can hold other
+/// mutable borrows.
+#[inline]
+fn dyn_account_packet(d: &mut DynFlow, flow: usize, t: f64, ev: &mut EventQueue) {
+    d.accounted += 1;
+    if d.accounted == d.size {
+        ev.push(t, EventKind::FlowComplete { flow });
+    }
+}
+
 /// Pack a FIFO word (`flow` must fit in 31 bits, checked at validate).
 #[inline]
 fn fifo_word(flow: usize, marked: bool) -> u32 {
@@ -505,20 +571,59 @@ pub fn run_network_in(
     config: &NetConfig,
     flows: &[FlowSpec],
 ) -> Result<NetResult> {
-    run_network_core(arena, config, flows, config.trace)
+    run_network_core(arena, config, flows, None, config.trace)
 }
 
-/// The one event loop, parameterised over the effective trace mode
-/// (callers inside the crate may override `config.trace`, e.g. the
-/// summary fast path forcing [`TraceMode::Summary`]).
+/// [`run_network`] plus a finite-flow [`Workload`]: open-loop flow
+/// arrivals draw a size and a Zipf-popular route, inject their packets
+/// as a paced burst, and depart once every packet is accounted
+/// (delivered or dropped). `flows` may be empty for a workload-only
+/// run; static flows coexist with the workload and keep their exact
+/// static-only schedule prefix (a workload with `max_flows = Some(0)`
+/// is bit-identical to [`run_network`], pinned by
+/// `tests/engine_equivalence.rs`).
+///
+/// The returned [`NetResult::workload`] is always `Some`, carrying the
+/// FCT / slowdown summaries and conservation counters.
+///
+/// # Errors
+/// See [`run_network`]; additionally anything [`Workload::validate`]
+/// rejects.
+pub fn run_network_workload(
+    config: &NetConfig,
+    flows: &[FlowSpec],
+    workload: &Workload,
+) -> Result<NetResult> {
+    run_network_workload_in(&mut NetArena::new(), config, flows, workload)
+}
+
+/// [`run_network_workload`] against caller-owned scratch state (the
+/// workload analogue of [`run_network_in`]).
+///
+/// # Errors
+/// See [`run_network_workload`].
+pub fn run_network_workload_in(
+    arena: &mut NetArena,
+    config: &NetConfig,
+    flows: &[FlowSpec],
+    workload: &Workload,
+) -> Result<NetResult> {
+    run_network_core(arena, config, flows, Some(workload), config.trace)
+}
+
+/// The one event loop, parameterised over the optional workload and the
+/// effective trace mode (callers inside the crate may override
+/// `config.trace`, e.g. the summary fast path forcing
+/// [`TraceMode::Summary`]).
 #[allow(clippy::too_many_lines)]
 pub(crate) fn run_network_core(
     arena: &mut NetArena,
     config: &NetConfig,
     flows: &[FlowSpec],
+    workload: Option<&Workload>,
     trace: TraceMode,
 ) -> Result<NetResult> {
-    config.validate(flows)?;
+    config.validate(flows, workload)?;
     let k = config.topology.len();
     let n_flows = flows.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -543,6 +648,10 @@ pub(crate) fn run_network_core(
     let mut trace_t = std::mem::take(&mut arena.trace_t);
     let mut trace_q = std::mem::take(&mut arena.trace_q);
     let mut trace_ctl = std::mem::take(&mut arena.trace_ctl);
+    let mut dyn_flows = std::mem::take(&mut arena.dyn_flows);
+    let mut dyn_free = std::mem::take(&mut arena.dyn_free);
+    let mut fcts = std::mem::take(&mut arena.fcts);
+    let mut slowdowns = std::mem::take(&mut arena.slowdowns);
     for h in hops.iter_mut() {
         h.last_change = config.warmup;
     }
@@ -563,7 +672,10 @@ pub(crate) fn run_network_core(
     // accessors produce, so results are bit-identical (the deterministic
     // service branch evaluated `1.0 / mu` per event; computing it once
     // per hop is the identical operation, hence identical bits).
-    let flow_hot: Vec<FlowHot> = flows
+    // `flow_hot` grows past `n_flows` as workload flows claim slots
+    // (flow index = n_flows + slot); static entries never move.
+    let n_static = n_flows;
+    let mut flow_hot: Vec<FlowHot> = flows
         .iter()
         .map(|f| FlowHot {
             route: f.route,
@@ -620,6 +732,9 @@ pub(crate) fn run_network_core(
             ))
         })
         .collect();
+    // The workload arrival clock is one-pending by construction (each
+    // FlowArrival schedules its successor), so it rides a lane too.
+    let lane_arrival = alloc_lane(workload.is_some());
     ev.set_lane_count(lane_count);
 
     // Bootstrap events (flow order; identical schedule to the legacy
@@ -666,6 +781,26 @@ pub(crate) fn run_network_core(
                     stats[i].sent += burst;
                 }
             }
+        }
+    }
+    // Workload bootstrap: the first flow arrives one interarrival gap
+    // after t = 0. `max_flows = Some(0)` schedules nothing and draws no
+    // randomness, so it cannot perturb a static-flow run.
+    let mut wlc = WlCounters::default();
+    let route_cum: Vec<f64> = workload.map_or_else(Vec::new, |w| {
+        let mut acc = 0.0;
+        w.route_weights()
+            .iter()
+            .map(|wt| {
+                acc += wt;
+                acc
+            })
+            .collect()
+    });
+    if let Some(w) = workload {
+        if w.max_flows != Some(0) {
+            let gap = w.arrivals.sample_interarrival(&mut rng);
+            ev.schedule_lane(lane_arrival, gap, EventKind::FlowArrival);
         }
     }
     // The sampling clock starts at t = 0 and schedules its successors
@@ -808,31 +943,43 @@ pub(crate) fn run_network_core(
                 let hh = hop_hot[hop];
                 // Random link loss (per-hop fault injection).
                 if hh.loss_prob > 0.0 && rng.gen::<f64>() < hh.loss_prob {
-                    if t >= warmup {
-                        stats[flow].dropped += 1;
-                    }
-                    if fh.acked {
-                        // Drop-as-signal: a marked ack returns from the
-                        // loss point so the source reacts.
-                        ev.push(
-                            t + back_delay(&fh, hop),
-                            EventKind::Ack { flow, marked: true },
-                        );
+                    if flow < n_static {
+                        if t >= warmup {
+                            stats[flow].dropped += 1;
+                        }
+                        if fh.acked {
+                            // Drop-as-signal: a marked ack returns from
+                            // the loss point so the source reacts.
+                            ev.push(
+                                t + back_delay(&fh, hop),
+                                EventKind::Ack { flow, marked: true },
+                            );
+                        }
+                    } else {
+                        // Finite flows never retransmit: the drop is
+                        // terminal and counts toward completion.
+                        wlc.packets_dropped += 1;
+                        dyn_account_packet(&mut dyn_flows[flow - n_static], flow, t, &mut ev);
                     }
                     continue;
                 }
                 if let Some(cap) = hh.buffer {
                     if hops[hop].q_len >= cap {
-                        if t >= warmup {
-                            stats[flow].dropped += 1;
-                        }
-                        // A dropped packet of a window flow still frees
-                        // its in-flight slot (drop-as-mark).
-                        if fh.acked {
-                            ev.push(
-                                t + back_delay(&fh, hop),
-                                EventKind::Ack { flow, marked: true },
-                            );
+                        if flow < n_static {
+                            if t >= warmup {
+                                stats[flow].dropped += 1;
+                            }
+                            // A dropped packet of a window flow still
+                            // frees its in-flight slot (drop-as-mark).
+                            if fh.acked {
+                                ev.push(
+                                    t + back_delay(&fh, hop),
+                                    EventKind::Ack { flow, marked: true },
+                                );
+                            }
+                        } else {
+                            wlc.packets_dropped += 1;
+                            dyn_account_packet(&mut dyn_flows[flow - n_static], flow, t, &mut ev);
                         }
                         continue;
                     }
@@ -879,11 +1026,19 @@ pub(crate) fn run_network_core(
                     hs.area += hs.q_len as f64 * (t - hs.last_change);
                     hs.last_change = t;
                     hs.served += 1;
-                    if exits {
+                    if exits && flow < n_static {
                         stats[flow].delivered += 1;
                     }
                 } else {
                     hs.last_change = t.max(warmup);
+                }
+                if exits && flow >= n_static {
+                    // Workload conservation counters are never
+                    // warm-up-gated; only the FCT *samples* are.
+                    wlc.packets_delivered += 1;
+                    let d = &mut dyn_flows[flow - n_static];
+                    d.delivered += 1;
+                    dyn_account_packet(d, flow, t, &mut ev);
                 }
                 hs.q_len -= 1;
                 let q_now = hs.q_len;
@@ -994,6 +1149,94 @@ pub(crate) fn run_network_core(
                     to_send -= 1;
                 }
             }
+            EventKind::FlowArrival => {
+                let w = workload.expect("FlowArrival without a workload");
+                // Draw order is the §3f contract: size, route, next gap
+                // (one f64 each; deterministic sizes draw nothing).
+                let size = w.sizes.sample(&mut rng);
+                let u: f64 = rng.gen::<f64>();
+                let route = w.routes[sample_cumulative(&route_cum, u)];
+                // Finite flows are open-loop: no acks, no marking
+                // reaction (q_hat = ∞ never self-marks).
+                let fh = FlowHot {
+                    route,
+                    prop_delay: w.prop_delay,
+                    q_hat: f64::INFINITY,
+                    acked: false,
+                    decbit: false,
+                };
+                let d = DynFlow {
+                    size,
+                    accounted: 0,
+                    delivered: 0,
+                    arrival_t: t,
+                    ideal: ideal_fct(&config.topology, route, size, w.prop_delay),
+                };
+                let slot = match dyn_free.pop() {
+                    Some(s) => {
+                        let s = s as usize;
+                        flow_hot[n_static + s] = fh;
+                        dyn_flows[s] = d;
+                        s
+                    }
+                    None => {
+                        flow_hot.push(fh);
+                        dyn_flows.push(d);
+                        dyn_flows.len() - 1
+                    }
+                };
+                let flow = n_static + slot;
+                assert!(
+                    flow < (1 << 31),
+                    "run_network: workload flow index exceeds the 31-bit FIFO word"
+                );
+                wlc.arrived += 1;
+                wlc.active += 1;
+                wlc.peak_active = wlc.peak_active.max(wlc.active);
+                wlc.packets_sent += size;
+                // The whole transfer enters as a paced burst (1 µs
+                // spacing, like the window bootstrap), so an idle
+                // network completes it in exactly `ideal_fct`.
+                for b in 0..size {
+                    ev.push(
+                        t + b as f64 * 1e-6 + w.prop_delay,
+                        EventKind::Arrival {
+                            flow,
+                            hop: route.first,
+                            marked: false,
+                        },
+                    );
+                }
+                if w.max_flows.is_none_or(|m| wlc.arrived < m) {
+                    let gap = w.arrivals.sample_interarrival(&mut rng);
+                    ev.schedule_lane(lane_arrival, t + gap, EventKind::FlowArrival);
+                }
+            }
+            EventKind::FlowComplete { flow } => {
+                let w = workload.expect("FlowComplete without a workload");
+                let slot = flow - n_static;
+                let d = dyn_flows[slot];
+                wlc.active -= 1;
+                wlc.completed += 1;
+                if d.delivered == d.size {
+                    wlc.completed_clean += 1;
+                    // FCT/slowdown sample only the post-warm-up, fully
+                    // delivered population.
+                    if d.arrival_t >= warmup {
+                        let fct = t - d.arrival_t;
+                        fcts.push(fct);
+                        slowdowns.push(fct / d.ideal);
+                    }
+                }
+                // No event or FIFO word references the slot once the
+                // last packet is accounted (in-flight packets are by
+                // definition unaccounted), so reuse is safe. Slot
+                // numbering never feeds times or RNG, so recycling
+                // on/off only moves `slot_high_water`.
+                if w.recycle_slots {
+                    dyn_free.push(slot as u32);
+                }
+            }
             EventKind::Sample => {
                 trace_t.push(t);
                 for hop in 0..k {
@@ -1033,15 +1276,36 @@ pub(crate) fn run_network_core(
     }
     let total_throughput: f64 = stats.iter().map(|f| f.throughput).sum();
     let capacity: f64 = config.topology.links.iter().map(|l| l.mu).sum();
+    let workload_stats = workload.map(|_| {
+        fcts.sort_by(f64::total_cmp);
+        slowdowns.sort_by(f64::total_cmp);
+        WorkloadStats {
+            arrived: wlc.arrived,
+            completed: wlc.completed,
+            completed_clean: wlc.completed_clean,
+            active_at_end: wlc.arrived - wlc.completed,
+            packets_sent: wlc.packets_sent,
+            packets_delivered: wlc.packets_delivered,
+            packets_dropped: wlc.packets_dropped,
+            peak_active: wlc.peak_active,
+            slot_high_water: dyn_flows.len() as u64,
+            fct: DistSummary::from_sorted(&fcts),
+            slowdown: DistSummary::from_sorted(&slowdowns),
+        }
+    });
     // Full mode hands the trace buffers to the caller (the arena grows
     // fresh ones next run); Summary leaves them in the arena for
     // `run_network_summary`; Off recorded nothing.
     let (out_t, out_q, out_ctl) = if trace == TraceMode::Full {
-        (
-            std::mem::take(&mut trace_t),
-            std::mem::take(&mut trace_q),
-            trace_ctl.chunks(n_flows).map(<[f64]>::to_vec).collect(),
-        )
+        let out_t = std::mem::take(&mut trace_t);
+        // A workload-only run has no per-flow control state: one empty
+        // row per sample (`chunks(0)` would panic).
+        let out_ctl = if n_flows == 0 {
+            vec![Vec::new(); out_t.len()]
+        } else {
+            trace_ctl.chunks(n_flows).map(<[f64]>::to_vec).collect()
+        };
+        (out_t, std::mem::take(&mut trace_q), out_ctl)
     } else {
         (Vec::new(), Vec::new(), Vec::new())
     };
@@ -1056,6 +1320,10 @@ pub(crate) fn run_network_core(
         trace_t,
         trace_q,
         trace_ctl,
+        dyn_flows,
+        dyn_free,
+        fcts,
+        slowdowns,
     };
     Ok(NetResult {
         trace_t: out_t,
@@ -1066,6 +1334,7 @@ pub(crate) fn run_network_core(
         total_throughput,
         utilization,
         capacity,
+        workload: workload_stats,
     })
 }
 
@@ -1230,6 +1499,7 @@ mod tests {
             total_throughput: 0.0,
             utilization: vec![],
             capacity: 0.0,
+            workload: None,
         };
         assert_eq!(r.bottleneck_hop(), 1, "ties resolve to the lowest index");
     }

@@ -17,8 +17,9 @@
 use fpk_repro::congestion::decbit::DecbitPolicy;
 use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::sim::{
-    run_network, run_tandem, run_with_faults, FaultConfig, FlowSpec, NetConfig, Route, Service,
-    SimConfig, SourceSpec, TandemConfig, TandemFlow, Topology, TraceMode,
+    run_network, run_network_workload, run_tandem, run_with_faults, ArrivalProcess, FaultConfig,
+    FlowSizeDist, FlowSpec, NetConfig, Route, Service, SimConfig, SourceSpec, TandemConfig,
+    TandemFlow, Topology, TraceMode, Workload,
 };
 
 fn mixed_sources() -> Vec<SourceSpec> {
@@ -248,6 +249,63 @@ fn shim_matches_run_network_single_link() {
         assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
         assert_eq!(b.hops, 1);
     }
+}
+
+/// Static flows through the workload machinery: `run_network_workload`
+/// with an admission cap of zero must be bit-identical to plain
+/// `run_network` — the workload code path schedules nothing, draws no
+/// RNG, and perturbs no trace, so pre-workload goldens keep holding
+/// for every scenario that doesn't opt in. (The same mixed-source +
+/// loss setup as the golden test above, so this shim pin transitively
+/// covers the pre-refactor constants too.)
+#[test]
+fn workload_with_zero_cap_matches_run_network() {
+    let net = NetConfig {
+        topology: Topology::single(50.0, Service::Exponential, Some(30)),
+        faults: vec![FaultConfig { loss_prob: 0.05 }],
+        t_end: 40.0,
+        warmup: 8.0,
+        sample_interval: 0.1,
+        seed: 2024,
+        trace: TraceMode::Full,
+    };
+    let flows: Vec<FlowSpec> = mixed_sources()
+        .into_iter()
+        .map(FlowSpec::single_hop)
+        .collect();
+    let plain = run_network(&net, &flows).unwrap();
+
+    let off = Workload::new(
+        ArrivalProcess::Poisson { rate: 100.0 },
+        FlowSizeDist::Exponential { mean: 10.0 },
+        vec![Route::single(0)],
+    )
+    .with_max_flows(0);
+    let shimmed = run_network_workload(&net, &flows, &off).unwrap();
+
+    assert_eq!(plain.trace_t, shimmed.trace_t);
+    assert_eq!(plain.trace_q, shimmed.trace_q);
+    assert_eq!(plain.trace_ctl, shimmed.trace_ctl);
+    assert_eq!(
+        plain.mean_queue[0].to_bits(),
+        shimmed.mean_queue[0].to_bits()
+    );
+    assert_eq!(
+        plain.total_throughput.to_bits(),
+        shimmed.total_throughput.to_bits()
+    );
+    for (a, b) in plain.flows.iter().zip(&shimmed.flows) {
+        assert_eq!(a.sent, b.sent);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+    }
+    assert!(plain.workload.is_none());
+    let s = shimmed
+        .workload
+        .expect("workload stats present even when capped off");
+    assert_eq!((s.arrived, s.packets_sent, s.slot_high_water), (0, 0, 0));
+    assert_eq!(s.fct.count, 0);
 }
 
 /// `run_tandem` ≡ `run_network` on the equivalent lossless K-link

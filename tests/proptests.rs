@@ -19,7 +19,12 @@
 //!   the hand-rolled indexed event queue pops any random stream in the
 //!   exact `(t, seq)` order of a reference `BinaryHeap`, and
 //!   `TraceMode::Off` runs produce bit-identical counters (and
-//!   `run_seeded` bit-identical summaries) to `TraceMode::Full` runs.
+//!   `run_seeded` bit-identical summaries) to `TraceMode::Full` runs;
+//! * the workload samplers (DESIGN §3f): interarrival and flow-size
+//!   draws average to their analytic means at any fixed seed, Zipf
+//!   route weights normalise and order by popularity, and cumulative-
+//!   weight sampling reproduces the weights exactly in the
+//!   infinite-sample (uniform grid) limit.
 
 use fpk_repro::congestion::theory::{sliding_share, ReturnMap};
 use fpk_repro::congestion::{LinearExp, WindowAimd};
@@ -28,11 +33,15 @@ use fpk_repro::fpk::fv::{advect_sweep, diffuse_crank_nicolson, Limiter};
 use fpk_repro::numerics::dde::DdeProblem;
 use fpk_repro::scenarios::{Axis, Ensemble, Scenario, Sweep};
 use fpk_repro::sim::event::{Event, EventKind, EventQueue};
+use fpk_repro::sim::workload::sample_cumulative;
 use fpk_repro::sim::{
     run_network, summarize_network, FlowSpec, Link, NetConfig, Route, Service, SimConfig,
     SourceSpec, Topology, TraceMode,
 };
+use fpk_repro::sim::{zipf_weights, ArrivalProcess, FlowSizeDist};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::BinaryHeap;
 
 /// A scenario whose contents never run — the seed-contract tests only
@@ -408,5 +417,123 @@ proptest! {
         let exact = y0 * (-rate * 2.0f64).exp();
         prop_assert!((yf - exact).abs() < 2e-3 * y0,
             "yf {yf} vs exact {exact} (rate {rate}, y0 {y0})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn poisson_interarrivals_average_to_one_over_rate(
+        rate in 0.5f64..50.0,
+        seed_raw in 0usize..10_000,
+    ) {
+        // DESIGN §3f: one f64 draw per gap, exponential with mean
+        // 1/rate. 8k samples put the standard error near 1.1% of the
+        // mean; 5% is a comfortable deterministic bound at any seed.
+        let p = ArrivalProcess::Poisson { rate };
+        let mut rng = StdRng::seed_from_u64(seed_raw as u64);
+        let n = 8_000;
+        let mean = (0..n).map(|_| p.sample_interarrival(&mut rng)).sum::<f64>() / f64::from(n);
+        prop_assert!(
+            (mean - 1.0 / rate).abs() < 0.05 / rate,
+            "Poisson mean gap {mean} vs 1/rate {}", 1.0 / rate
+        );
+    }
+
+    #[test]
+    fn pareto_interarrivals_keep_the_rate(
+        rate in 0.5f64..20.0,
+        alpha in 2.2f64..4.0,
+        seed_raw in 0usize..10_000,
+    ) {
+        // The Pareto process is parameterised so its *mean* gap stays
+        // 1/rate while alpha sets the burstiness. Finite variance only
+        // for alpha > 2, so the mean-convergence check stays there.
+        let p = ArrivalProcess::Pareto { rate, alpha };
+        let mut rng = StdRng::seed_from_u64(seed_raw as u64);
+        let n = 30_000;
+        let mean = (0..n).map(|_| p.sample_interarrival(&mut rng)).sum::<f64>() / f64::from(n);
+        prop_assert!(
+            (mean - 1.0 / rate).abs() < 0.10 / rate,
+            "Pareto(alpha={alpha}) mean gap {mean} vs 1/rate {}", 1.0 / rate
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_samples_average_to_the_analytic_mean(
+        min in 1.0f64..5.0,
+        ratio in 5.0f64..100.0,
+        alpha in 1.1f64..2.5,
+        seed_raw in 0usize..10_000,
+    ) {
+        // `FlowSizeDist::mean()` is the continuous bounded-Pareto mean;
+        // `sample()` rounds to whole packets (≥ 1), which biases each
+        // draw by at most half a packet. The tail is capped at
+        // max/min ≤ 100 so 16k samples tame the variance.
+        let dist = FlowSizeDist::BoundedPareto { min, max: min * ratio, alpha };
+        let analytic = dist.mean();
+        let mut rng = StdRng::seed_from_u64(seed_raw as u64);
+        let n = 16_000u32;
+        let mean = (0..n).map(|_| dist.sample(&mut rng) as f64).sum::<f64>() / f64::from(n);
+        prop_assert!(
+            (mean - analytic).abs() < 0.10 * analytic + 0.5,
+            "bounded-Pareto sample mean {mean} vs analytic {analytic} \
+             (min={min} ratio={ratio} alpha={alpha})"
+        );
+    }
+
+    #[test]
+    fn zipf_weights_normalise_and_order_by_popularity(
+        n in 1usize..200,
+        s in 0.0f64..3.0,
+    ) {
+        let w = zipf_weights(n, s);
+        prop_assert_eq!(w.len(), n);
+        let total: f64 = w.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        prop_assert!(w.iter().all(|&x| x > 0.0));
+        // Popularity is non-increasing in rank (strictly for s > 0).
+        prop_assert!(w.windows(2).all(|p| p[0] >= p[1] - 1e-15));
+        if s == 0.0 {
+            prop_assert!(w.iter().all(|&x| (x - 1.0 / n as f64).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn cumulative_sampling_reproduces_the_weights(
+        n in 1usize..40,
+        s in 0.0f64..2.5,
+    ) {
+        // Sweep a fine uniform grid of u through the cumulative-weight
+        // table: the index must be monotone in u, and each index's
+        // hit fraction equals its weight to grid resolution — the
+        // reorder-stability contract (DESIGN §3b applied to routes:
+        // a route's draw depends only on its cumulative interval, so
+        // identical weights → identical choices whatever produced them).
+        let w = zipf_weights(n, s);
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &x in &w {
+            acc += x;
+            cum.push(acc);
+        }
+        let grid = 20_000usize;
+        let mut hits = vec![0usize; n];
+        let mut prev = 0;
+        for g in 0..grid {
+            let u = (g as f64 + 0.5) / grid as f64;
+            let i = sample_cumulative(&cum, u);
+            prop_assert!(i >= prev, "index not monotone in u");
+            prev = i;
+            hits[i] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let frac = h as f64 / grid as f64;
+            prop_assert!(
+                (frac - w[i]).abs() <= 1.0 / grid as f64 + 1e-9,
+                "route {i}: hit fraction {frac} vs weight {}", w[i]
+            );
+        }
     }
 }
