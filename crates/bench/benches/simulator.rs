@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpk_congestion::{LinearExp, WindowAimd};
 use fpk_sim::{
     run, run_network, run_network_workload, ArrivalProcess, FlowSizeDist, FlowSpec, Link,
-    NetConfig, Route, Service, SimConfig, SourceSpec, Topology, TraceMode, Workload,
+    NetConfig, QdiscKind, Route, Service, SimConfig, SourceSpec, Topology, TraceMode, Workload,
 };
 use std::hint::black_box;
 
@@ -104,6 +104,8 @@ fn bench_network_by_hops(c: &mut Criterion) {
                 sample_interval: 0.5,
                 seed: 4,
                 trace: TraceMode::Full,
+                qdisc: QdiscKind::Fifo,
+                packet_bytes: None,
             };
             b.iter(|| run_network(black_box(&net), black_box(&flows)).expect("sim"));
         });
@@ -131,15 +133,73 @@ fn bench_finite_flows(c: &mut Criterion) {
             sample_interval: 0.5,
             seed: 5,
             trace: TraceMode::Full,
+            qdisc: QdiscKind::Fifo,
+            packet_bytes: None,
         };
         b.iter(|| run_network_workload(black_box(&net), &[], black_box(&workload)).expect("sim"));
     });
+}
+
+fn bench_network_qdisc(c: &mut Criterion) {
+    // Queue-discipline overhead at the by_hops/4 shape: the Fifo row
+    // must sit within noise of sim_network_by_hops/4 (the monomorphized
+    // dispatch pins the historical fast path), and the RedMark row
+    // prices the EWMA + uniform-draw marking the RED arm adds per
+    // arrival.
+    let mut group = c.benchmark_group("sim_network_qdisc");
+    let k = 4usize;
+    for (label, qdisc) in [
+        ("Fifo", QdiscKind::Fifo),
+        (
+            "RedMark",
+            QdiscKind::RedMark {
+                min_th: 2.5,
+                max_th: 10.0,
+                max_p: 0.1,
+                weight: 0.05,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &qdisc, |b, &qdisc| {
+            let window = |route: Route| FlowSpec {
+                source: SourceSpec::Window {
+                    aimd: WindowAimd::new(1.0, 0.5, 0.05, 10.0),
+                    w0: 2.0,
+                },
+                route,
+            };
+            let mut flows = vec![window(Route::full(k))];
+            for hop in 0..k {
+                flows.push(window(Route::single(hop)));
+            }
+            let net = NetConfig {
+                topology: Topology::uniform(
+                    k,
+                    Link {
+                        mu: 100.0,
+                        service: Service::Exponential,
+                        buffer: None,
+                    },
+                ),
+                faults: Vec::new(),
+                t_end: 20.0,
+                warmup: 2.0,
+                sample_interval: 0.5,
+                seed: 4,
+                trace: TraceMode::Full,
+                qdisc,
+                packet_bytes: None,
+            };
+            b.iter(|| run_network(black_box(&net), black_box(&flows)).expect("sim"));
+        });
+    }
+    group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_rate_flows, bench_window_flows, bench_service_disciplines,
-        bench_network_by_hops, bench_finite_flows
+        bench_network_by_hops, bench_finite_flows, bench_network_qdisc
 }
 criterion_main!(benches);

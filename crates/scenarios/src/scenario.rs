@@ -15,7 +15,8 @@
 use fpk_numerics::{NumericsError, Result};
 use fpk_sim::{
     run_network_summary, run_network_workload_summary, FaultConfig, FlowSpec, NetArena, NetConfig,
-    Route, RunSummary, SimConfig, SourceSpec, Topology, TraceMode, Workload,
+    PacketBytes, QdiscKind, Route, RunSummary, SimConfig, SourceSpec, Topology, TraceMode,
+    Workload,
 };
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +52,11 @@ pub struct Scenario {
     /// [`RunSummary::workload`] carries FCT/slowdown statistics.
     /// `sources` may be empty iff this is set.
     pub workload: Option<Workload>,
+    /// Queue discipline at every hop ([`QdiscKind::Fifo`] keeps the
+    /// historical per-flow marking policy; see `fpk_sim::qdisc`).
+    pub qdisc: QdiscKind,
+    /// Optional byte-granular packet sizing (`None` = unit packets).
+    pub packet_bytes: Option<PacketBytes>,
     /// Fraction of the queue trace analysed for oscillation in the
     /// summary (validated by `fpk_sim::metrics`).
     pub tail_fraction: f64,
@@ -70,6 +76,8 @@ impl Scenario {
             routes: None,
             hop_faults: None,
             workload: None,
+            qdisc: QdiscKind::Fifo,
+            packet_bytes: None,
             tail_fraction: 0.5,
         }
     }
@@ -109,6 +117,23 @@ impl Scenario {
     #[must_use]
     pub fn with_workload(mut self, workload: Workload) -> Self {
         self.workload = Some(workload);
+        self
+    }
+
+    /// Select the queue discipline every hop runs (default:
+    /// [`QdiscKind::Fifo`], the historical per-flow marking).
+    #[must_use]
+    pub fn with_qdisc(mut self, qdisc: QdiscKind) -> Self {
+        self.qdisc = qdisc;
+        self
+    }
+
+    /// Enable byte-granular packets: every packet draws its size from
+    /// the distribution and takes `bytes / ref_bytes` nominal service
+    /// times.
+    #[must_use]
+    pub fn with_packet_bytes(mut self, packet_bytes: PacketBytes) -> Self {
+        self.packet_bytes = Some(packet_bytes);
         self
     }
 
@@ -168,6 +193,8 @@ impl Scenario {
             sample_interval: self.config.sample_interval,
             seed,
             trace: TraceMode::Full,
+            qdisc: self.qdisc,
+            packet_bytes: self.packet_bytes,
         };
         Ok((net, flows))
     }

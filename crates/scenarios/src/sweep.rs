@@ -233,6 +233,52 @@ impl Axis {
         })
     }
 
+    /// Sweep the queue discipline by coded value: `round(v)` selects
+    /// 0 = FIFO (the per-flow marking baseline), 1 = instantaneous
+    /// threshold marking (K = 5), 2 = DECbit-averaged marking
+    /// (K = 2.5), ≥ 3 = RED (min 2.5, max 10, `max_p` 1, EWMA weight
+    /// 0.25) — the canonical parameterisations the marking-comparison
+    /// figure sweeps. The RED weight is deliberately fast: at these
+    /// shallow per-hop queues a slow EWMA lags the window sawtooth and
+    /// lets the buffer oscillate past the FIFO baseline. For other
+    /// parameters, use [`Axis::new`] with a custom apply that builds
+    /// the [`fpk_sim::QdiscKind`] directly.
+    #[must_use]
+    pub fn qdisc(values: Vec<f64>) -> Self {
+        Self::new("qdisc", values, |sc, v| {
+            sc.qdisc = match v.round() as i64 {
+                0 => fpk_sim::QdiscKind::Fifo,
+                1 => fpk_sim::QdiscKind::ThresholdMark { threshold: 5.0 },
+                2 => fpk_sim::QdiscKind::AveragedMark { threshold: 2.5 },
+                _ => fpk_sim::QdiscKind::RedMark {
+                    min_th: 2.5,
+                    max_th: 10.0,
+                    max_p: 1.0,
+                    weight: 0.25,
+                },
+            };
+        })
+    }
+
+    /// Sweep the packet size in bytes: every packet is exactly
+    /// `round(v)` bytes against the scenario's existing byte reference
+    /// (or a 1000-byte reference when the base scenario has no
+    /// [`fpk_sim::PacketBytes`] yet), so the per-packet service factor
+    /// is `round(v) / ref_bytes`. Values must round to ≥ 1.
+    #[must_use]
+    pub fn packet_bytes(values: Vec<f64>) -> Self {
+        Self::new("bytes", values, |sc, v| {
+            let packets = v.round().max(1.0) as u64;
+            let ref_bytes = sc
+                .packet_bytes
+                .map_or(fpk_sim::Bytes(1000.0), |pb| pb.ref_bytes);
+            sc.packet_bytes = Some(fpk_sim::PacketBytes {
+                dist: fpk_sim::FlowSizeDist::Deterministic { packets },
+                ref_bytes,
+            });
+        })
+    }
+
     /// Sweep the workload's arrival burstiness: `v ≤ 1` keeps Poisson
     /// arrivals (the memoryless baseline), `v > 1` switches to Pareto
     /// interarrivals with tail exponent α = v at the same mean rate —
@@ -575,6 +621,37 @@ mod tests {
         let cells = Sweep::new(base, 3).axis(Axis::hop_count(vec![4.0])).cells();
         let routes = cells[0].scenario.routes.as_ref().unwrap();
         assert_eq!(routes[0], fpk_sim::Route::single(0), "pin preserved");
+    }
+
+    #[test]
+    fn qdisc_and_packet_bytes_axes_apply() {
+        let sweep = Sweep::new(base(), 11)
+            .axis(Axis::qdisc(vec![0.0, 1.0, 2.0, 3.0]))
+            .axis(Axis::packet_bytes(vec![500.0, 1500.0]));
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].scenario.qdisc, fpk_sim::QdiscKind::Fifo);
+        assert_eq!(
+            cells[2].scenario.qdisc,
+            fpk_sim::QdiscKind::ThresholdMark { threshold: 5.0 }
+        );
+        assert_eq!(
+            cells[4].scenario.qdisc,
+            fpk_sim::QdiscKind::AveragedMark { threshold: 2.5 }
+        );
+        assert!(matches!(
+            cells[6].scenario.qdisc,
+            fpk_sim::QdiscKind::RedMark { .. }
+        ));
+        let pb = cells[1].scenario.packet_bytes.expect("bytes axis applied");
+        assert_eq!(
+            pb.dist,
+            fpk_sim::FlowSizeDist::Deterministic { packets: 1500 }
+        );
+        assert_eq!(pb.ref_bytes, fpk_sim::Bytes(1000.0));
+        assert_eq!(cells[1].scenario.name, "grid[qdisc=0,bytes=1500]");
+        // Every combination must survive engine validation.
+        assert!(cells[7].scenario.run_seeded(1).is_ok());
     }
 
     #[test]

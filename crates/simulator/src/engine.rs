@@ -20,6 +20,7 @@
 //! traces and counters, pinned by `tests/engine_equivalence.rs`).
 
 use crate::network::{run_network, FlowSpec, NetConfig, Route, Topology, TraceMode};
+use crate::qdisc::QdiscKind;
 use crate::source::SourceSpec;
 use fpk_numerics::{NumericsError, Result};
 use serde::{Deserialize, Serialize};
@@ -152,6 +153,8 @@ pub fn run_with_faults(
         seed: config.seed,
         // SimResult exposes the traces, so the shim always records them.
         trace: TraceMode::Full,
+        qdisc: QdiscKind::Fifo,
+        packet_bytes: None,
     };
     let flows: Vec<FlowSpec> = sources
         .iter()

@@ -42,7 +42,13 @@
 use std::cmp::Ordering;
 
 /// What happens when an event fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Kept at 24 bytes: the pop/push sift loops move the payload array in
+/// lock-step with the key array, so widening the enum shows up directly
+/// in the hot path — which is why [`EventKind::Arrival`] carries its
+/// per-packet size factor as an `f32` (exact for the unit factor 1.0
+/// and for the small dyadic factors the analytic pins use).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
     /// A packet from `flow` reaches the queue of link `hop`.
     Arrival {
@@ -53,6 +59,10 @@ pub enum EventKind {
         /// Congestion marks accumulated at the hops already crossed
         /// (`false` for a packet fresh from its source).
         marked: bool,
+        /// Service-time scale factor of this packet (its byte size over
+        /// the run's reference bytes; exactly `1.0` for unit-packet
+        /// runs, which never read it).
+        size: f32,
     },
     /// The packet at the head of link `hop`'s queue finishes service.
     Departure {
@@ -445,6 +455,7 @@ mod tests {
                 flow: 0,
                 hop: 0,
                 marked: false,
+                size: 1.0,
             },
         );
         let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.t)).collect();
@@ -461,6 +472,7 @@ mod tests {
                     flow,
                     hop: 0,
                     marked: false,
+                    size: 1.0,
                 },
             );
         }
@@ -608,6 +620,7 @@ mod tests {
                     flow: (x % 13) as usize,
                     hop: 0,
                     marked: x & 1 == 0,
+                    size: 1.0,
                 };
                 fast.push(t, kind);
                 reference.push(Event { t, seq, kind });

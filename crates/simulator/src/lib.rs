@@ -60,8 +60,10 @@ pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod network;
+pub mod qdisc;
 pub mod source;
 pub mod tandem;
+pub mod units;
 pub mod workload;
 
 pub use engine::{run, run_with_faults, FaultConfig, FlowStats, Service, SimConfig, SimResult};
@@ -72,8 +74,14 @@ pub use network::{
     run_network, run_network_in, run_network_workload, run_network_workload_in, FlowSpec, Link,
     NetArena, NetConfig, NetFlowStats, NetResult, Route, Topology, TraceMode,
 };
+pub use qdisc::{
+    red_mark_probability, AveragedMark, Fifo, HopQdiscState, QDisc, QdiscKind, QdiscParams,
+    RedMark, ThresholdMark,
+};
 pub use source::SourceSpec;
 pub use tandem::{run_tandem, TandemConfig, TandemFlow, TandemFlowStats, TandemResult};
+pub use units::{Bits, BitsPerSec, Bytes, Delay};
 pub use workload::{
-    ideal_fct, zipf_weights, ArrivalProcess, DistSummary, FlowSizeDist, Workload, WorkloadStats,
+    ideal_fct, ideal_fct_sized, zipf_weights, ArrivalProcess, DistSummary, FlowSizeDist,
+    PacketBytes, Workload, WorkloadStats,
 };

@@ -327,6 +327,8 @@ mod tests {
             sample_interval: 0.1,
             seed: 42,
             trace: crate::network::TraceMode::Full,
+            qdisc: crate::qdisc::QdiscKind::Fifo,
+            packet_bytes: None,
         };
         let flows: Vec<FlowSpec> = vec![
             FlowSpec::single_hop(SourceSpec::Rate {

@@ -25,9 +25,13 @@
 
 use crate::engine::{FaultConfig, Service};
 use crate::event::{EventKind, EventQueue};
+use crate::qdisc::{
+    AveragedMark, Fifo, HopQdiscState, QDisc, QdiscKind, QdiscParams, RedMark, ThresholdMark,
+};
 use crate::source::{rate_update, window_on_ack, SourceSpec, SourceState};
-use crate::workload::{ideal_fct, sample_cumulative, DistSummary, Workload, WorkloadStats};
-use fpk_congestion::decbit::QueueAverager;
+use crate::workload::{
+    ideal_fct_sized, sample_cumulative, DistSummary, PacketBytes, Workload, WorkloadStats,
+};
 use fpk_numerics::{NumericsError, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -190,6 +194,15 @@ pub struct NetConfig {
     /// How much trace data to record ([`TraceMode::Full`] is the
     /// `Default`, matching the engine's historical behaviour).
     pub trace: TraceMode,
+    /// Queue discipline at every hop. [`QdiscKind::Fifo`] (the default)
+    /// keeps the historical per-flow marking policy; the others impose
+    /// a hop-level policy that overrides each flow's own `q̂`/DECbit
+    /// settings (see [`crate::qdisc`]).
+    pub qdisc: QdiscKind,
+    /// Optional byte-granular packet sizing: `Some` makes every packet
+    /// draw a byte size and take `bytes / ref_bytes` nominal service
+    /// times; `None` (the default) is classic unit-packet service.
+    pub packet_bytes: Option<PacketBytes>,
 }
 
 impl NetConfig {
@@ -235,6 +248,41 @@ impl NetConfig {
         }
         if let Some(w) = workload {
             w.validate(&self.topology)?;
+        }
+        match self.qdisc {
+            QdiscKind::Fifo => {}
+            QdiscKind::ThresholdMark { threshold } | QdiscKind::AveragedMark { threshold } => {
+                if !(threshold.is_finite() && threshold >= 0.0) {
+                    return Err(NumericsError::InvalidParameter {
+                        context: "NetConfig: qdisc threshold must be finite and >= 0",
+                    });
+                }
+            }
+            QdiscKind::RedMark {
+                min_th,
+                max_th,
+                max_p,
+                weight,
+            } => {
+                if !(min_th >= 0.0 && min_th < max_th && max_th.is_finite()) {
+                    return Err(NumericsError::InvalidParameter {
+                        context: "NetConfig: RedMark needs 0 <= min_th < max_th < inf",
+                    });
+                }
+                if !(0.0..=1.0).contains(&max_p) {
+                    return Err(NumericsError::InvalidParameter {
+                        context: "NetConfig: RedMark max_p must lie in [0, 1]",
+                    });
+                }
+                if !(weight > 0.0 && weight <= 1.0) {
+                    return Err(NumericsError::InvalidParameter {
+                        context: "NetConfig: RedMark weight must lie in (0, 1]",
+                    });
+                }
+            }
+        }
+        if let Some(pb) = &self.packet_bytes {
+            pb.validate()?;
         }
         // FIFO entries pack the flow index into 31 bits (bit 31 carries
         // the congestion mark).
@@ -366,8 +414,9 @@ impl NetResult {
 }
 
 /// Reusable per-run scratch state: source states, per-hop FIFOs (ring
-/// buffers of packed `u32` flow+mark words), DECbit averagers,
-/// accumulators, the event queue, and the trace buffers.
+/// buffers of packed `u32` flow+mark words, plus a parallel byte-factor
+/// ring in byte mode), per-hop queue-discipline scratch, accumulators,
+/// the event queue, and the trace buffers.
 ///
 /// One arena serves any number of sequential runs of any shape — every
 /// buffer is cleared (capacity kept) and re-sized at the start of each
@@ -381,8 +430,12 @@ pub struct NetArena {
     states: Vec<SourceState>,
     /// Per-hop FIFO of `flow | (marked << 31)` words, head in service.
     fifos: Vec<VecDeque<u32>>,
+    /// Per-hop FIFO of packet size factors, parallel to `fifos`; only
+    /// touched by byte-mode instantiations (`packet_bytes: Some`).
+    fifo_bytes: Vec<VecDeque<f32>>,
     hops: Vec<HopState>,
-    averagers: Vec<QueueAverager>,
+    /// Per-hop queue-discipline scratch (DECbit averager, RED EWMA).
+    qdisc: Vec<HopQdiscState>,
     pub(crate) trace_t: Vec<f64>,
     /// `trace_q[hop][sample]`, reused across runs.
     pub(crate) trace_q: Vec<Vec<f64>>,
@@ -418,10 +471,15 @@ impl NetArena {
             f.clear();
         }
         self.fifos.resize_with(k, VecDeque::new);
+        self.fifo_bytes.truncate(k);
+        for f in &mut self.fifo_bytes {
+            f.clear();
+        }
+        self.fifo_bytes.resize_with(k, VecDeque::new);
         self.hops.clear();
         self.hops.resize(k, HopState::default());
-        self.averagers.clear();
-        self.averagers.resize_with(k, || QueueAverager::new(0.0));
+        self.qdisc.clear();
+        self.qdisc.resize_with(k, HopQdiscState::default);
         self.trace_t.clear();
         self.trace_q.truncate(k);
         for q in &mut self.trace_q {
@@ -611,11 +669,14 @@ pub fn run_network_workload_in(
     run_network_core(arena, config, flows, Some(workload), config.trace)
 }
 
-/// The one event loop, parameterised over the optional workload and the
-/// effective trace mode (callers inside the crate may override
-/// `config.trace`, e.g. the summary fast path forcing
-/// [`TraceMode::Summary`]).
-#[allow(clippy::too_many_lines)]
+/// Entry point behind every public runner: validate, resolve the
+/// queue-discipline parameters, and select the monomorphized event
+/// loop **once per run** — `run_core` is generic over the discipline
+/// `Q: QDisc` and a `BYTES` const for byte-granular service, so each
+/// of the eight instantiations compiles to its own loop with every
+/// discipline hook inlined and no `dyn` call on the packet path. The
+/// unit-size/`Fifo` instantiation is therefore the exact pre-refactor
+/// fast path (pinned bit-for-bit by `tests/engine_equivalence.rs`).
 pub(crate) fn run_network_core(
     arena: &mut NetArena,
     config: &NetConfig,
@@ -624,6 +685,48 @@ pub(crate) fn run_network_core(
     trace: TraceMode,
 ) -> Result<NetResult> {
     config.validate(flows, workload)?;
+    let qp = QdiscParams::resolve(config.qdisc);
+    match (config.qdisc, config.packet_bytes.is_some()) {
+        (QdiscKind::Fifo, false) => {
+            run_core::<Fifo, false>(arena, config, flows, workload, trace, qp)
+        }
+        (QdiscKind::Fifo, true) => {
+            run_core::<Fifo, true>(arena, config, flows, workload, trace, qp)
+        }
+        (QdiscKind::ThresholdMark { .. }, false) => {
+            run_core::<ThresholdMark, false>(arena, config, flows, workload, trace, qp)
+        }
+        (QdiscKind::ThresholdMark { .. }, true) => {
+            run_core::<ThresholdMark, true>(arena, config, flows, workload, trace, qp)
+        }
+        (QdiscKind::AveragedMark { .. }, false) => {
+            run_core::<AveragedMark, false>(arena, config, flows, workload, trace, qp)
+        }
+        (QdiscKind::AveragedMark { .. }, true) => {
+            run_core::<AveragedMark, true>(arena, config, flows, workload, trace, qp)
+        }
+        (QdiscKind::RedMark { .. }, false) => {
+            run_core::<RedMark, false>(arena, config, flows, workload, trace, qp)
+        }
+        (QdiscKind::RedMark { .. }, true) => {
+            run_core::<RedMark, true>(arena, config, flows, workload, trace, qp)
+        }
+    }
+}
+
+/// The one event loop, monomorphized per discipline `Q` and byte mode
+/// (see [`run_network_core`]). `trace` is the effective trace mode
+/// (callers inside the crate may override `config.trace`, e.g. the
+/// summary fast path forcing [`TraceMode::Summary`]).
+#[allow(clippy::too_many_lines)]
+fn run_core<Q: QDisc, const BYTES: bool>(
+    arena: &mut NetArena,
+    config: &NetConfig,
+    flows: &[FlowSpec],
+    workload: Option<&Workload>,
+    trace: TraceMode,
+    qp: QdiscParams,
+) -> Result<NetResult> {
     let k = config.topology.len();
     let n_flows = flows.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -643,8 +746,9 @@ pub(crate) fn run_network_core(
     let mut ev = std::mem::take(&mut arena.ev);
     let mut states = std::mem::take(&mut arena.states);
     let mut fifos = std::mem::take(&mut arena.fifos);
+    let mut fifo_bytes = std::mem::take(&mut arena.fifo_bytes);
     let mut hops = std::mem::take(&mut arena.hops);
-    let mut averagers = std::mem::take(&mut arena.averagers);
+    let mut qdisc_state = std::mem::take(&mut arena.qdisc);
     let mut trace_t = std::mem::take(&mut arena.trace_t);
     let mut trace_q = std::mem::take(&mut arena.trace_q);
     let mut trace_ctl = std::mem::take(&mut arena.trace_ctl);
@@ -737,6 +841,27 @@ pub(crate) fn run_network_core(
     let lane_arrival = alloc_lane(workload.is_some());
     ev.set_lane_count(lane_count);
 
+    // Byte-granular packet sizing: each packet draws its size factor
+    // at its creation site (exactly one f64 draw, none for a
+    // deterministic byte dist); unit mode draws nothing and passes a
+    // compile-time-ignored 1.0, so its RNG stream is untouched.
+    let pb = config.packet_bytes;
+    let draw_size = |rng: &mut StdRng| -> f32 {
+        if BYTES {
+            let pb = pb.expect("byte-mode instantiation without packet_bytes");
+            (pb.dist.sample(rng) as f64 / pb.ref_bytes.get()) as f32
+        } else {
+            1.0
+        }
+    };
+    // Slowdown denominator scale: the mean byte factor (unit mode: 1).
+    let mean_factor = if BYTES {
+        pb.expect("byte-mode instantiation without packet_bytes")
+            .mean_factor()
+    } else {
+        1.0
+    };
+
     // Bootstrap events (flow order; identical schedule to the legacy
     // engines so the shims stay bit-identical).
     for (i, f) in flows.iter().enumerate() {
@@ -771,6 +896,7 @@ pub(crate) fn run_network_core(
                             flow: i,
                             hop: f.route.first,
                             marked: false,
+                            size: draw_size(&mut rng),
                         },
                     );
                 }
@@ -856,6 +982,7 @@ pub(crate) fn run_network_core(
                             flow,
                             hop: flow_hot[flow].route.first,
                             marked: false,
+                            size: draw_size(&mut rng),
                         },
                     );
                     let gap = if *poisson {
@@ -889,6 +1016,7 @@ pub(crate) fn run_network_core(
                             flow,
                             hop: flow_hot[flow].route.first,
                             marked: false,
+                            size: draw_size(&mut rng),
                         },
                     );
                     let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
@@ -938,7 +1066,12 @@ pub(crate) fn run_network_core(
                     EventKind::Toggle { flow },
                 );
             }
-            EventKind::Arrival { flow, hop, marked } => {
+            EventKind::Arrival {
+                flow,
+                hop,
+                marked,
+                size,
+            } => {
                 let fh = flow_hot[flow];
                 let hh = hop_hot[hop];
                 // Random link loss (per-hop fault injection).
@@ -985,15 +1118,38 @@ pub(crate) fn run_network_core(
                     }
                 }
                 // Mark policy at this hop, OR-ed with marks from hops
-                // already crossed: instantaneous queue for Rate/Window
-                // flows, regeneration-cycle averaged queue for DECbit.
+                // already crossed (`q_len` is the pre-enqueue
+                // packets-in-system count). A pure hook short-circuits
+                // behind an upstream mark — the historical fast path;
+                // a stateful one (RED's EWMA) runs for every surviving
+                // arrival so its scratch never depends on upstream
+                // marking.
                 let hs = &mut hops[hop];
-                let marked = marked
-                    || if fh.decbit {
-                        averagers[hop].congestion_bit(t, fh.q_hat)
-                    } else {
-                        hs.q_len as f64 > fh.q_hat
-                    };
+                let marked = if Q::MARK_IS_PURE {
+                    marked
+                        || Q::mark(
+                            &qp,
+                            &mut qdisc_state,
+                            hop,
+                            t,
+                            hs.q_len,
+                            fh.decbit,
+                            fh.q_hat,
+                            &mut rng,
+                        )
+                } else {
+                    let hop_mark = Q::mark(
+                        &qp,
+                        &mut qdisc_state,
+                        hop,
+                        t,
+                        hs.q_len,
+                        fh.decbit,
+                        fh.q_hat,
+                        &mut rng,
+                    );
+                    marked || hop_mark
+                };
                 if t >= warmup {
                     hs.area += hs.q_len as f64 * (t - hs.last_change);
                     hs.last_change = t;
@@ -1001,24 +1157,36 @@ pub(crate) fn run_network_core(
                     hs.last_change = t.max(warmup);
                 }
                 fifos[hop].push_back(fifo_word(flow, marked));
+                if BYTES {
+                    fifo_bytes[hop].push_back(size);
+                }
                 hs.q_len += 1;
-                if any_decbit {
+                if Q::needs_observe(any_decbit) {
                     let q = hs.q_len;
-                    averagers[hop].observe(t, q as f64);
+                    Q::observe(&mut qdisc_state[hop], t, q as f64);
                 }
                 let hs = &mut hops[hop];
                 if !hs.busy {
                     hs.busy = true;
-                    ev.schedule_lane(
-                        1 + hop,
-                        t + service_time(&mut rng, &hh),
-                        EventKind::Departure { hop },
-                    );
+                    let mut svc = service_time(&mut rng, &hh);
+                    if BYTES {
+                        // The hop was idle, so the arriving packet is
+                        // the one entering service.
+                        svc *= f64::from(size);
+                    }
+                    ev.schedule_lane(1 + hop, t + svc, EventKind::Departure { hop });
                 }
             }
             EventKind::Departure { hop } => {
                 let (flow, marked) =
                     fifo_flow_marked(fifos[hop].pop_front().expect("departure from empty queue"));
+                let size = if BYTES {
+                    fifo_bytes[hop]
+                        .pop_front()
+                        .expect("departure from empty byte queue")
+                } else {
+                    1.0f32
+                };
                 let fh = flow_hot[flow];
                 let exits = hop == fh.route.last;
                 let hs = &mut hops[hop];
@@ -1042,8 +1210,8 @@ pub(crate) fn run_network_core(
                 }
                 hs.q_len -= 1;
                 let q_now = hs.q_len;
-                if any_decbit {
-                    averagers[hop].observe(t, q_now as f64);
+                if Q::needs_observe(any_decbit) {
+                    Q::observe(&mut qdisc_state[hop], t, q_now as f64);
                 }
                 if exits {
                     // Leaves the network; window flows get an ack across
@@ -1053,22 +1221,29 @@ pub(crate) fn run_network_core(
                     }
                 } else {
                     // Forward to the next hop after one hop delay,
-                    // carrying the marks collected so far.
+                    // carrying the marks collected so far (and, in byte
+                    // mode, the packet's size factor).
                     ev.push(
                         t + fh.prop_delay,
                         EventKind::Arrival {
                             flow,
                             hop: hop + 1,
                             marked,
+                            size,
                         },
                     );
                 }
                 if q_now > 0 {
-                    ev.schedule_lane(
-                        1 + hop,
-                        t + service_time(&mut rng, &hop_hot[hop]),
-                        EventKind::Departure { hop },
-                    );
+                    let mut svc = service_time(&mut rng, &hop_hot[hop]);
+                    if BYTES {
+                        // The new head of line sets the next service.
+                        svc *= f64::from(
+                            *fifo_bytes[hop]
+                                .front()
+                                .expect("busy hop with empty byte queue"),
+                        );
+                    }
+                    ev.schedule_lane(1 + hop, t + svc, EventKind::Departure { hop });
                 } else {
                     hops[hop].busy = false;
                 }
@@ -1144,6 +1319,7 @@ pub(crate) fn run_network_core(
                             flow,
                             hop: flow_hot[flow].route.first,
                             marked: false,
+                            size: draw_size(&mut rng),
                         },
                     );
                     to_send -= 1;
@@ -1170,7 +1346,13 @@ pub(crate) fn run_network_core(
                     accounted: 0,
                     delivered: 0,
                     arrival_t: t,
-                    ideal: ideal_fct(&config.topology, route, size, w.prop_delay),
+                    ideal: ideal_fct_sized(
+                        &config.topology,
+                        route,
+                        size,
+                        w.prop_delay,
+                        mean_factor,
+                    ),
                 };
                 let slot = match dyn_free.pop() {
                     Some(s) => {
@@ -1196,7 +1378,9 @@ pub(crate) fn run_network_core(
                 wlc.packets_sent += size;
                 // The whole transfer enters as a paced burst (1 µs
                 // spacing, like the window bootstrap), so an idle
-                // network completes it in exactly `ideal_fct`.
+                // network completes it in exactly `ideal_fct`. Byte
+                // mode draws each packet's size here, after the route
+                // and before the next interarrival gap (§3f order).
                 for b in 0..size {
                     ev.push(
                         t + b as f64 * 1e-6 + w.prop_delay,
@@ -1204,6 +1388,7 @@ pub(crate) fn run_network_core(
                             flow,
                             hop: route.first,
                             marked: false,
+                            size: draw_size(&mut rng),
                         },
                     );
                 }
@@ -1315,8 +1500,9 @@ pub(crate) fn run_network_core(
         ev,
         states,
         fifos,
+        fifo_bytes,
         hops,
-        averagers,
+        qdisc: qdisc_state,
         trace_t,
         trace_q,
         trace_ctl,
@@ -1375,6 +1561,8 @@ mod tests {
             sample_interval: 0.1,
             seed: 17,
             trace: TraceMode::Full,
+            qdisc: QdiscKind::Fifo,
+            packet_bytes: None,
         }
     }
 
@@ -1645,5 +1833,136 @@ mod tests {
             long < best_cross,
             "compounded marks must cost the long flow"
         );
+    }
+
+    /// Every hop-level discipline must tame the queue a lax per-flow
+    /// policy lets grow: window elephants whose own q̂ is far above the
+    /// discipline's threshold see early marks only from the hop, so the
+    /// mean queue under ThresholdMark / AveragedMark / RedMark must sit
+    /// below the FIFO baseline.
+    #[test]
+    fn hop_disciplines_cut_the_queue_fifo_allows() {
+        let lax = |route: Route| FlowSpec {
+            source: SourceSpec::Window {
+                aimd: WindowAimd::new(1.0, 0.5, 0.05, 30.0),
+                w0: 2.0,
+            },
+            route,
+        };
+        let mut cfg = net(1);
+        cfg.topology = Topology::uniform(1, link(60.0));
+        let flows = vec![lax(Route::single(0)), lax(Route::single(0))];
+        let mean_q = |qdisc: QdiscKind| {
+            let mut c = cfg.clone();
+            c.qdisc = qdisc;
+            run_network(&c, &flows).unwrap().mean_queue[0]
+        };
+        let fifo = mean_q(QdiscKind::Fifo);
+        for (name, qdisc) in [
+            ("threshold", QdiscKind::ThresholdMark { threshold: 5.0 }),
+            ("averaged", QdiscKind::AveragedMark { threshold: 2.5 }),
+            (
+                "red",
+                QdiscKind::RedMark {
+                    min_th: 2.5,
+                    max_th: 10.0,
+                    max_p: 0.1,
+                    weight: 0.05,
+                },
+            ),
+        ] {
+            let q = mean_q(qdisc);
+            assert!(
+                q < fifo,
+                "{name}: mean queue {q} should undercut the FIFO baseline {fifo}"
+            );
+        }
+    }
+
+    /// RED's uniform marking draw comes off the run's single RNG lane,
+    /// so runs repeat bit for bit like every other configuration.
+    #[test]
+    fn red_runs_are_deterministic_for_seed() {
+        let mut cfg = net(2);
+        cfg.qdisc = QdiscKind::RedMark {
+            min_th: 2.5,
+            max_th: 10.0,
+            max_p: 0.1,
+            weight: 0.05,
+        };
+        let flows = vec![window_flow(Route::full(2)), window_flow(Route::single(0))];
+        let a = run_network(&cfg, &flows).unwrap();
+        let b = run_network(&cfg, &flows).unwrap();
+        assert_eq!(a.trace_q, b.trace_q);
+        assert_eq!(a.flows[0].delivered, b.flows[0].delivered);
+        assert_eq!(
+            a.mean_queue[0].to_bits(),
+            b.mean_queue[0].to_bits(),
+            "RED perturbed determinism"
+        );
+    }
+
+    /// Byte mode with a heavier-than-reference deterministic size slows
+    /// every transmission by the same factor, so the delivered count
+    /// must drop against the unit-packet run of the same scenario.
+    #[test]
+    fn heavier_bytes_slow_the_network() {
+        let cfg = net(1);
+        let flows = vec![window_flow(Route::single(0))];
+        let unit = run_network(&cfg, &flows).unwrap();
+        let mut heavy_cfg = cfg;
+        heavy_cfg.packet_bytes = Some(PacketBytes {
+            dist: crate::workload::FlowSizeDist::Deterministic { packets: 3000 },
+            ref_bytes: crate::units::Bytes(1000.0),
+        });
+        let heavy = run_network(&heavy_cfg, &flows).unwrap();
+        assert!(
+            heavy.flows[0].delivered < unit.flows[0].delivered,
+            "3x packets must deliver less: {} vs {}",
+            heavy.flows[0].delivered,
+            unit.flows[0].delivered
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_qdisc_and_packet_bytes() {
+        let flows = vec![window_flow(Route::single(0))];
+        let bad = |f: &dyn Fn(&mut NetConfig)| {
+            let mut cfg = net(1);
+            f(&mut cfg);
+            run_network(&cfg, &flows).is_err()
+        };
+        assert!(bad(&|c| c.qdisc = QdiscKind::ThresholdMark {
+            threshold: f64::NAN
+        }));
+        assert!(bad(
+            &|c| c.qdisc = QdiscKind::AveragedMark { threshold: -1.0 }
+        ));
+        assert!(bad(&|c| c.qdisc = QdiscKind::RedMark {
+            min_th: 10.0,
+            max_th: 2.5, // inverted thresholds
+            max_p: 0.1,
+            weight: 0.05,
+        }));
+        assert!(bad(&|c| c.qdisc = QdiscKind::RedMark {
+            min_th: 2.5,
+            max_th: 10.0,
+            max_p: 1.5, // not a probability
+            weight: 0.05,
+        }));
+        assert!(bad(&|c| c.qdisc = QdiscKind::RedMark {
+            min_th: 2.5,
+            max_th: 10.0,
+            max_p: 0.1,
+            weight: 0.0, // EWMA would never move
+        }));
+        assert!(bad(&|c| c.packet_bytes = Some(PacketBytes {
+            dist: crate::workload::FlowSizeDist::Deterministic { packets: 1 },
+            ref_bytes: crate::units::Bytes(0.0), // zero reference
+        })));
+        assert!(bad(&|c| c.packet_bytes = Some(PacketBytes {
+            dist: crate::workload::FlowSizeDist::Exponential { mean: -2.0 },
+            ref_bytes: crate::units::Bytes(1000.0),
+        })));
     }
 }

@@ -143,6 +143,12 @@ impl SourceSpec {
     }
 
     /// The congestion threshold the flow's law uses.
+    ///
+    /// Packet marking consults this per-flow threshold only under the
+    /// default FIFO discipline ([`crate::qdisc::QdiscKind::Fifo`]);
+    /// every other hop-level discipline (threshold, DECbit-averaged,
+    /// RED) marks from its own hop state and ignores `q_hat` — the
+    /// source still *reacts* to those marks through its control law.
     #[must_use]
     pub fn q_hat(&self) -> f64 {
         match self {

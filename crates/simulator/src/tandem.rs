@@ -14,6 +14,7 @@
 
 use crate::engine::Service;
 use crate::network::{run_network, FlowSpec, Link, NetConfig, Route, Topology, TraceMode};
+use crate::qdisc::QdiscKind;
 use crate::source::SourceSpec;
 use fpk_congestion::WindowAimd;
 use fpk_numerics::Result;
@@ -110,6 +111,8 @@ impl TandemConfig {
             sample_interval: if self.t_end > 0.0 { self.t_end } else { 1.0 },
             seed: self.seed,
             trace: TraceMode::Off,
+            qdisc: QdiscKind::Fifo,
+            packet_bytes: None,
         }
     }
 }

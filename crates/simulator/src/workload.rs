@@ -21,6 +21,7 @@
 //! draw nothing.
 
 use crate::network::{Route, Topology};
+use crate::units::Bytes;
 use fpk_numerics::{NumericsError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -364,13 +365,82 @@ impl Workload {
 /// by the mean-service pipeline bound and can dip below 1.
 #[must_use]
 pub fn ideal_fct(topology: &Topology, route: Route, size: u64, prop_delay: f64) -> f64 {
+    ideal_fct_sized(topology, route, size, prop_delay, 1.0)
+}
+
+/// [`ideal_fct`] generalised to byte-granular packets: every per-packet
+/// service is scaled by `size_factor` (a packet's byte size over the
+/// run's reference bytes, see [`PacketBytes`]), so the pipeline formula
+/// becomes `hops·d + Σ_h f/μ_h + (size−1)·f/μ_min`.
+///
+/// For `size_factor = 1.0` this is bit-identical to [`ideal_fct`] (the
+/// unit factor multiplies exactly). Byte-mode runs use the workload's
+/// *mean* factor (`dist.mean() / ref_bytes`) as the slowdown
+/// denominator — with a stochastic byte distribution the realised
+/// per-packet factors differ, so slowdown can dip below 1 exactly as
+/// it already can under exponential link service.
+#[must_use]
+pub fn ideal_fct_sized(
+    topology: &Topology,
+    route: Route,
+    size: u64,
+    prop_delay: f64,
+    size_factor: f64,
+) -> f64 {
     let mut sum_service = 0.0;
     let mut mu_min = f64::INFINITY;
     for link in &topology.links[route.first..=route.last] {
-        sum_service += 1.0 / link.mu;
+        sum_service += size_factor / link.mu;
         mu_min = mu_min.min(link.mu);
     }
-    route.hops() as f64 * prop_delay + sum_service + (size.saturating_sub(1)) as f64 / mu_min
+    route.hops() as f64 * prop_delay
+        + sum_service
+        + size_factor * (size.saturating_sub(1)) as f64 / mu_min
+}
+
+/// Byte-granular packet sizing for a run (see
+/// [`NetConfig::packet_bytes`](crate::NetConfig::packet_bytes)).
+///
+/// Every packet entering the network draws its byte size from `dist`
+/// (one `f64` draw at the packet's creation site, none for
+/// [`FlowSizeDist::Deterministic`]) and is served in
+/// `(bytes / ref_bytes) · base_service` — `ref_bytes` is the packet
+/// size at which a link's `μ` packets/s calibration holds, so a
+/// `Deterministic { packets: N }` dist with `ref_bytes = N` is
+/// bit-identical to unit-packet mode (factor exactly 1.0, zero extra
+/// draws; pinned by `tests/engine_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketBytes {
+    /// Per-packet byte-size distribution (the `packets` fields of
+    /// [`FlowSizeDist`] are read as **bytes** here).
+    pub dist: FlowSizeDist,
+    /// Reference packet size in bytes (must be positive and finite);
+    /// a packet of exactly `ref_bytes` takes one nominal service time.
+    pub ref_bytes: Bytes,
+}
+
+impl PacketBytes {
+    /// Mean service-time scale factor, `E[bytes] / ref_bytes` — the
+    /// factor the slowdown denominator uses.
+    #[must_use]
+    pub fn mean_factor(&self) -> f64 {
+        self.dist.mean() / self.ref_bytes.get()
+    }
+
+    /// Validate the distribution and the reference size.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] for a bad distribution or a
+    /// non-positive / non-finite `ref_bytes`.
+    pub fn validate(&self) -> Result<()> {
+        self.dist.validate()?;
+        if !(self.ref_bytes.get().is_finite() && self.ref_bytes.get() > 0.0) {
+            return Err(NumericsError::InvalidParameter {
+                context: "PacketBytes: ref_bytes must be positive and finite",
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Count / mean / percentile summary of one per-flow metric (FCT or

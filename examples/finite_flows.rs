@@ -17,8 +17,8 @@
 
 use fpk_repro::congestion::WindowAimd;
 use fpk_repro::sim::{
-    run_network_workload, ArrivalProcess, FlowSizeDist, FlowSpec, Link, NetConfig, Route, Service,
-    SourceSpec, Topology, TraceMode, Workload,
+    run_network_workload, ArrivalProcess, FlowSizeDist, FlowSpec, Link, NetConfig, QdiscKind,
+    Route, Service, SourceSpec, Topology, TraceMode, Workload,
 };
 
 fn net(topology: Topology, t_end: f64, warmup: f64, seed: u64) -> NetConfig {
@@ -30,6 +30,8 @@ fn net(topology: Topology, t_end: f64, warmup: f64, seed: u64) -> NetConfig {
         sample_interval: 0.1,
         seed,
         trace: TraceMode::Off,
+        qdisc: QdiscKind::Fifo,
+        packet_bytes: None,
     }
 }
 

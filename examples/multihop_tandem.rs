@@ -18,8 +18,8 @@ use fpk_repro::congestion::decbit::DecbitPolicy;
 use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::sim::engine::{run_with_faults, FaultConfig};
 use fpk_repro::sim::{
-    run, run_network, FlowSpec, Link, NetConfig, Route, Service, SimConfig, SourceSpec, Topology,
-    TraceMode,
+    run, run_network, FlowSpec, Link, NetConfig, QdiscKind, Route, Service, SimConfig, SourceSpec,
+    Topology, TraceMode,
 };
 
 fn main() {
@@ -52,6 +52,8 @@ fn main() {
         sample_interval: 0.5,
         seed: 71,
         trace: TraceMode::Full,
+        qdisc: QdiscKind::Fifo,
+        packet_bytes: None,
     };
     let out = run_network(&net, &flows).expect("tandem");
     println!(
@@ -174,6 +176,8 @@ fn main() {
         sample_interval: 0.5,
         seed: 73,
         trace: TraceMode::Full,
+        qdisc: QdiscKind::Fifo,
+        packet_bytes: None,
     };
     let flows = vec![
         jrj(20.0, Route::full(3)), // the long flow crossing everything

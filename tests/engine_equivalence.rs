@@ -17,9 +17,9 @@
 use fpk_repro::congestion::decbit::DecbitPolicy;
 use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::sim::{
-    run_network, run_network_workload, run_tandem, run_with_faults, ArrivalProcess, FaultConfig,
-    FlowSizeDist, FlowSpec, NetConfig, Route, Service, SimConfig, SourceSpec, TandemConfig,
-    TandemFlow, Topology, TraceMode, Workload,
+    run_network, run_network_workload, run_tandem, run_with_faults, ArrivalProcess, Bytes,
+    FaultConfig, FlowSizeDist, FlowSpec, NetConfig, PacketBytes, QdiscKind, Route, Service,
+    SimConfig, SourceSpec, TandemConfig, TandemFlow, Topology, TraceMode, Workload,
 };
 
 fn mixed_sources() -> Vec<SourceSpec> {
@@ -224,6 +224,8 @@ fn shim_matches_run_network_single_link() {
         sample_interval: cfg.sample_interval,
         seed: cfg.seed,
         trace: TraceMode::Full,
+        qdisc: QdiscKind::Fifo,
+        packet_bytes: None,
     };
     let flows: Vec<FlowSpec> = mixed_sources()
         .into_iter()
@@ -268,6 +270,8 @@ fn workload_with_zero_cap_matches_run_network() {
         sample_interval: 0.1,
         seed: 2024,
         trace: TraceMode::Full,
+        qdisc: QdiscKind::Fifo,
+        packet_bytes: None,
     };
     let flows: Vec<FlowSpec> = mixed_sources()
         .into_iter()
@@ -306,6 +310,70 @@ fn workload_with_zero_cap_matches_run_network() {
         .expect("workload stats present even when capped off");
     assert_eq!((s.arrived, s.packets_sent, s.slot_high_water), (0, 0, 0));
     assert_eq!(s.fct.count, 0);
+}
+
+/// The queue-discipline refactor's fast-path pin: byte mode with a
+/// unity size factor (`Deterministic{N}` bytes over an N-byte
+/// reference) and the explicit `Fifo` discipline must be bit-identical
+/// to the historical unit-packet engine on the golden mixed-source
+/// configuration. The factor `(N as f64 / N as f64) as f32` is exactly
+/// `1.0f32`; `svc * 1.0` is a bitwise no-op; and a deterministic byte
+/// distribution draws no RNG — so every time, every counter, and every
+/// trace bit must match the pre-refactor goldens that the unit-packet
+/// tests above keep pinning.
+#[test]
+fn byte_mode_with_unity_factor_matches_unit_fast_path() {
+    let mk = |packet_bytes: Option<PacketBytes>| NetConfig {
+        topology: Topology::single(50.0, Service::Exponential, Some(30)),
+        faults: vec![FaultConfig { loss_prob: 0.05 }],
+        t_end: 40.0,
+        warmup: 8.0,
+        sample_interval: 0.1,
+        seed: 2024,
+        trace: TraceMode::Full,
+        qdisc: QdiscKind::Fifo,
+        packet_bytes,
+    };
+    let flows: Vec<FlowSpec> = mixed_sources()
+        .into_iter()
+        .map(FlowSpec::single_hop)
+        .collect();
+    let unit = run_network(&mk(None), &flows).unwrap();
+    let bytes = run_network(
+        &mk(Some(PacketBytes {
+            dist: FlowSizeDist::Deterministic { packets: 1500 },
+            ref_bytes: Bytes(1500.0),
+        })),
+        &flows,
+    )
+    .unwrap();
+
+    assert_eq!(unit.trace_t, bytes.trace_t);
+    assert_eq!(unit.trace_q, bytes.trace_q);
+    assert_eq!(unit.trace_ctl, bytes.trace_ctl);
+    assert_eq!(unit.mean_queue[0].to_bits(), bytes.mean_queue[0].to_bits());
+    assert_eq!(
+        unit.total_throughput.to_bits(),
+        bytes.total_throughput.to_bits()
+    );
+    let books: Vec<(u64, u64, u64)> = bytes
+        .flows
+        .iter()
+        .map(|f| (f.sent, f.delivered, f.dropped))
+        .collect();
+    // The same constants `single_link_goldens_mixed_sources_with_loss`
+    // pins — the byte path reproduces the pre-refactor engine, not just
+    // today's unit path.
+    assert_eq!(
+        books,
+        vec![
+            (754, 710, 40),
+            (515, 475, 39),
+            (185, 175, 10),
+            (163, 152, 11)
+        ],
+        "byte mode with unity factor moved off the golden counters"
+    );
 }
 
 /// `run_tandem` ≡ `run_network` on the equivalent lossless K-link

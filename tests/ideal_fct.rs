@@ -24,8 +24,9 @@
 
 use fpk_repro::scenarios::{run_sweep_on, run_sweep_unpooled, Axis, Ensemble, Scenario, Sweep};
 use fpk_repro::sim::{
-    ideal_fct, run_network_workload, ArrivalProcess, FaultConfig, FlowSizeDist, Link, NetConfig,
-    Route, Service, SimConfig, Topology, TraceMode, Workload,
+    ideal_fct, ideal_fct_sized, run_network_workload, ArrivalProcess, Bytes, FaultConfig,
+    FlowSizeDist, Link, NetConfig, PacketBytes, QdiscKind, Route, Service, SimConfig, Topology,
+    TraceMode, Workload,
 };
 
 /// A workload-only `NetConfig` (no static flows, no faults).
@@ -38,6 +39,8 @@ fn net(topology: Topology, t_end: f64, warmup: f64, seed: u64) -> NetConfig {
         sample_interval: 0.1,
         seed,
         trace: TraceMode::Off,
+        qdisc: QdiscKind::Fifo,
+        packet_bytes: None,
     }
 }
 
@@ -115,6 +118,59 @@ fn idle_multi_hop_fct_matches_pipeline_formula() {
     assert!(
         (helper - by_hand).abs() <= 1e-12,
         "ideal_fct drifted off the formula"
+    );
+}
+
+/// Byte-granular packets on the same idle heterogeneous tandem: a
+/// constant per-packet size of 3 bytes against a 2-byte reference makes
+/// every packet cost exactly 1.5 nominal service times, so the FCT is
+/// the pipeline formula with every service term scaled by 1.5 — which
+/// is precisely what [`ideal_fct_sized`] reports. Because the factor is
+/// deterministic, the ideal is exact too and the slowdown stays 1.
+#[test]
+fn idle_multi_hop_fct_with_byte_sizes_is_exact() {
+    let (mus, size, d) = ([10.0, 5.0, 20.0], 6u64, 0.01);
+    let f = 1.5; // 3 bytes / 2-byte reference
+    let links: Vec<Link> = mus
+        .iter()
+        .map(|&mu| Link {
+            mu,
+            service: Service::Deterministic,
+            buffer: None,
+        })
+        .collect();
+    let topology = Topology { links };
+    let route = Route::full(3);
+    let w = Workload::new(
+        ArrivalProcess::Poisson { rate: 5.0 },
+        FlowSizeDist::Deterministic { packets: size },
+        vec![route],
+    )
+    .with_prop_delay(d)
+    .with_max_flows(1);
+    let mut cfg = net(topology.clone(), 30.0, 0.0, 11);
+    cfg.packet_bytes = Some(PacketBytes {
+        dist: FlowSizeDist::Deterministic { packets: 3 },
+        ref_bytes: Bytes(2.0),
+    });
+    let out = run_network_workload(&cfg, &[], &w).unwrap();
+    let stats = out.workload.expect("workload stats");
+    assert_eq!(stats.fct.count, 1);
+    let by_hand = 3.0 * d + mus.iter().map(|&mu| f / mu).sum::<f64>() + f * (size - 1) as f64 / 5.0;
+    assert!(
+        (stats.fct.mean - by_hand).abs() <= 1e-9,
+        "byte-sized pipeline FCT {} != {by_hand}",
+        stats.fct.mean
+    );
+    let helper = ideal_fct_sized(&topology, route, size, d, f);
+    assert!(
+        (helper - by_hand).abs() <= 1e-12,
+        "ideal_fct_sized drifted off the formula"
+    );
+    assert!(
+        (stats.slowdown.mean - 1.0).abs() <= 1e-9,
+        "deterministic byte factor must keep slowdown at 1, got {}",
+        stats.slowdown.mean
     );
 }
 
@@ -222,6 +278,45 @@ fn conservation_and_slowdown_floor_under_drops() {
         s.slowdown.min
     );
     assert!(s.fct.min <= s.fct.p50 && s.fct.p50 <= s.fct.p99 && s.fct.p99 <= s.fct.max);
+}
+
+/// Byte mode with a unity size factor is the unit-packet engine, bit
+/// for bit: `Deterministic{5}` bytes against a 5-byte reference makes
+/// every per-packet factor exactly `1.0f32`, the service product
+/// `svc * 1.0` is bitwise exact, and the extra RNG draws the byte path
+/// would normally add are absent for a deterministic distribution — so
+/// the M/D/1 run must reproduce the unit-packet run exactly.
+#[test]
+fn md1_with_unity_byte_factor_is_bit_identical_to_unit_packets() {
+    let (mu, d, rho) = (20.0, 0.01, 0.5);
+    let w = Workload::new(
+        ArrivalProcess::Poisson { rate: rho * mu },
+        FlowSizeDist::Deterministic { packets: 1 },
+        vec![Route::single(0)],
+    )
+    .with_prop_delay(d);
+    let cfg = net(
+        Topology::single(mu, Service::Deterministic, None),
+        300.0,
+        30.0,
+        0x4d44_3151,
+    );
+    let mut cfg_bytes = cfg.clone();
+    cfg_bytes.packet_bytes = Some(PacketBytes {
+        dist: FlowSizeDist::Deterministic { packets: 5 },
+        ref_bytes: Bytes(5.0),
+    });
+    let unit = run_network_workload(&cfg, &[], &w).unwrap();
+    let bytes = run_network_workload(&cfg_bytes, &[], &w).unwrap();
+    let us = unit.workload.expect("unit stats");
+    let bs = bytes.workload.expect("byte stats");
+    assert!(us.fct.count > 1000, "too few samples for a meaningful pin");
+    assert_eq!(us, bs, "unity byte factor diverged from unit packets");
+    assert_eq!(
+        unit.mean_queue[0].to_bits(),
+        bytes.mean_queue[0].to_bits(),
+        "unity byte factor perturbed the queue trajectory"
+    );
 }
 
 /// The sweep base used by the executor bit-identity pin: workload-only

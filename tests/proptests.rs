@@ -24,7 +24,14 @@
 //!   draws average to their analytic means at any fixed seed, Zipf
 //!   route weights normalise and order by popularity, and cumulative-
 //!   weight sampling reproduces the weights exactly in the
-//!   infinite-sample (uniform grid) limit.
+//!   infinite-sample (uniform grid) limit;
+//! * the typed units (DESIGN §3g): newtype arithmetic is closed and
+//!   agrees with raw `f64` arithmetic bit for bit, ordering follows
+//!   magnitude, and the bit/byte/rate/delay physics round-trips;
+//! * the RED discipline (DESIGN §3g): the marking probability stays in
+//!   `[0, max_p]` along *every* EWMA trajectory, is monotone in the
+//!   average, and the EWMA itself never escapes the hull of its
+//!   inputs.
 
 use fpk_repro::congestion::theory::{sliding_share, ReturnMap};
 use fpk_repro::congestion::{LinearExp, WindowAimd};
@@ -35,10 +42,13 @@ use fpk_repro::scenarios::{Axis, Ensemble, Scenario, Sweep};
 use fpk_repro::sim::event::{Event, EventKind, EventQueue};
 use fpk_repro::sim::workload::sample_cumulative;
 use fpk_repro::sim::{
-    run_network, summarize_network, FlowSpec, Link, NetConfig, Route, Service, SimConfig,
-    SourceSpec, Topology, TraceMode,
+    red_mark_probability, zipf_weights, ArrivalProcess, Bits, BitsPerSec, Bytes, Delay,
+    FlowSizeDist, HopQdiscState, QDisc, QdiscParams, RedMark,
 };
-use fpk_repro::sim::{zipf_weights, ArrivalProcess, FlowSizeDist};
+use fpk_repro::sim::{
+    run_network, summarize_network, FlowSpec, Link, NetConfig, QdiscKind, Route, Service,
+    SimConfig, SourceSpec, Topology, TraceMode,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -286,7 +296,7 @@ proptest! {
                     sample_pending = true;
                 }
                 _ => {
-                    let kind = EventKind::Arrival { flow: op, hop: 0, marked: false };
+                    let kind = EventKind::Arrival { flow: op, hop: 0, marked: false, size: 1.0 };
                     fast.push(t, kind);
                     reference.push(Event { t, seq, kind });
                     seq += 1;
@@ -354,6 +364,8 @@ proptest! {
             sample_interval: 0.1,
             seed,
             trace,
+            qdisc: QdiscKind::Fifo,
+            packet_bytes: None,
         };
         let full = run_network(&mk(TraceMode::Full), &flows).unwrap();
         let off = run_network(&mk(TraceMode::Off), &flows).unwrap();
@@ -533,6 +545,126 @@ proptest! {
             prop_assert!(
                 (frac - w[i]).abs() <= 1.0 / grid as f64 + 1e-9,
                 "route {i}: hit fraction {frac} vs weight {}", w[i]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unit_arithmetic_matches_raw_f64(
+        a in -1e12f64..1e12,
+        b in -1e12f64..1e12,
+        k in 0.001f64..1e6,
+    ) {
+        // The newtypes are zero-cost wrappers: every closed operation
+        // must produce exactly the bits raw f64 arithmetic produces.
+        prop_assert_eq!((Bytes(a) + Bytes(b)).get().to_bits(), (a + b).to_bits());
+        prop_assert_eq!((Bytes(a) - Bytes(b)).get().to_bits(), (a - b).to_bits());
+        prop_assert_eq!((Delay(a) * k).get().to_bits(), (a * k).to_bits());
+        prop_assert_eq!((k * Delay(a)).get().to_bits(), (k * a).to_bits());
+        prop_assert_eq!((BitsPerSec(a) / k).get().to_bits(), (a / k).to_bits());
+        prop_assert_eq!((Bits(a) / Bits(b)).to_bits(), (a / b).to_bits());
+        let mut acc = Bytes(a);
+        acc += Bytes(b);
+        acc -= Bytes(b);
+        prop_assert_eq!(acc.get().to_bits(), ((a + b) - b).to_bits());
+    }
+
+    #[test]
+    fn unit_ordering_follows_magnitude(
+        a in -1e12f64..1e12,
+        b in -1e12f64..1e12,
+    ) {
+        prop_assert_eq!(Delay(a) < Delay(b), a < b);
+        prop_assert_eq!(Bytes(a) == Bytes(b), a == b);
+        prop_assert_eq!(
+            Bits(a).partial_cmp(&Bits(b)),
+            a.partial_cmp(&b)
+        );
+    }
+
+    #[test]
+    fn unit_physics_round_trips(
+        bytes in 1.0f64..1e9,
+        rate in 1e3f64..1e12,
+    ) {
+        // bytes → bits → transmission time at `rate` → bits → bytes.
+        // ×8 and ÷8 are exact in binary floating point, so only the
+        // rate multiply/divide pair can round — one ulp-scale slack.
+        let size = Bytes(bytes);
+        let t: Delay = size.to_bits() / BitsPerSec(rate);
+        let back = (BitsPerSec(rate) * t).to_bytes();
+        prop_assert!(
+            (back.get() - bytes).abs() <= 1e-12 * bytes,
+            "round trip {bytes} B @ {rate} b/s came back {}", back.get()
+        );
+        // Commutativity of the bandwidth-delay product.
+        prop_assert_eq!(
+            (BitsPerSec(rate) * t).get().to_bits(),
+            (t * BitsPerSec(rate)).get().to_bits()
+        );
+    }
+
+    #[test]
+    fn red_probability_bounded_and_monotone(
+        min_th in 0.0f64..20.0,
+        span in 0.1f64..50.0,
+        max_p in 0.0f64..1.0,
+        avg_lo in 0.0f64..100.0,
+        step in 0.0f64..10.0,
+    ) {
+        let max_th = min_th + span;
+        let p_lo = red_mark_probability(min_th, max_th, max_p, avg_lo);
+        let p_hi = red_mark_probability(min_th, max_th, max_p, avg_lo + step);
+        for p in [p_lo, p_hi] {
+            prop_assert!((0.0..=max_p).contains(&p), "p {p} outside [0, {max_p}]");
+        }
+        prop_assert!(p_hi >= p_lo, "marking probability must be monotone in avg");
+        prop_assert_eq!(red_mark_probability(min_th, max_th, max_p, min_th), 0.0);
+        // At avg == max_th the linear ramp reaches max_p up to one
+        // rounding of the (max_p · Δ) / Δ product pair.
+        let at_max = red_mark_probability(min_th, max_th, max_p, max_th);
+        prop_assert!(
+            (at_max - max_p).abs() <= 1e-12 * max_p.max(1e-12),
+            "ramp top {at_max} vs max_p {max_p}"
+        );
+    }
+
+    #[test]
+    fn red_ewma_trajectory_keeps_probability_in_range(
+        weight in 0.001f64..1.0,
+        max_p in 0.01f64..1.0,
+        seed_raw in 0usize..10_000,
+        qs in proptest::collection::vec(0usize..200, 1..120),
+    ) {
+        // Drive the real RedMark discipline along a random queue-length
+        // trajectory: the EWMA must stay inside the hull of its inputs
+        // (so it can never overshoot the worst queue it saw) and the
+        // implied marking probability stays in [0, max_p] at every step.
+        let params = QdiscParams::resolve(QdiscKind::RedMark {
+            min_th: 2.5,
+            max_th: 10.0,
+            max_p,
+            weight,
+        });
+        let mut state = [HopQdiscState::default()];
+        let mut rng = StdRng::seed_from_u64(seed_raw as u64);
+        let mut hull_max = 0.0f64;
+        for (i, &q) in qs.iter().enumerate() {
+            let t = i as f64 * 0.01;
+            let _ = RedMark::mark(&params, &mut state, 0, t, q as u64, false, 1.0, &mut rng);
+            hull_max = hull_max.max(q as f64);
+            prop_assert!(
+                state[0].red_avg >= 0.0 && state[0].red_avg <= hull_max + 1e-12,
+                "EWMA {} escaped [0, {hull_max}]", state[0].red_avg
+            );
+            let p = red_mark_probability(params.min_th, params.max_th, params.max_p, state[0].red_avg);
+            prop_assert!(
+                (0.0..=max_p).contains(&p),
+                "step {i}: p {p} outside [0, {max_p}]"
             );
         }
     }

@@ -12,8 +12,8 @@ use fpk_repro::congestion::decbit::DecbitPolicy;
 use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::fpk::{Density, FpProblem, FpSolver};
 use fpk_repro::sim::{
-    run, run_network, run_with_faults, FaultConfig, FlowSpec, Link, NetConfig, Route, Service,
-    SimConfig, SourceSpec, Topology, TraceMode,
+    run, run_network, run_with_faults, FaultConfig, FlowSpec, Link, NetConfig, QdiscKind, Route,
+    Service, SimConfig, SourceSpec, Topology, TraceMode,
 };
 
 fn short_config(seed: u64) -> SimConfig {
@@ -349,6 +349,8 @@ fn des_network_parking_lot_rate_sources_smoke() {
         sample_interval: 0.1,
         seed: 41,
         trace: TraceMode::Full,
+        qdisc: QdiscKind::Fifo,
+        packet_bytes: None,
     };
     let flows = vec![
         jrj(Route::full(3)),
