@@ -6,6 +6,11 @@
 //! making the global order ≈ 1 in dt on this problem. The event-driven
 //! tracer restores full accuracy by locating every crossing. This table
 //! quantifies the trade and justifies the dt choices used elsewhere.
+//!
+//! Wall-clock timings go to **stderr only**: the serialized artifact
+//! must be a pure function of the computation (byte-identical across
+//! runs), so `results/tbl10_ablation_integrator.json` carries no
+//! timing field. CI diffs two back-to-back runs to pin this.
 
 use fpk_bench::{fmt, print_table, write_json};
 use fpk_congestion::LinearExp;
@@ -19,7 +24,6 @@ struct Row {
     dt: f64,
     q_error: f64,
     lambda_error: f64,
-    wall_ms: f64,
 }
 
 fn main() {
@@ -54,26 +58,23 @@ fn main() {
             dt,
             q_error: (qf - q_ref).abs(),
             lambda_error: (lf - l_ref).abs(),
-            wall_ms,
         };
+        eprintln!("dt={dt:.0e}: {} ms", fmt(wall_ms, 2));
         table.push(vec![
             format!("{dt:.0e}"),
             format!("{:.2e}", row.q_error),
             format!("{:.2e}", row.lambda_error),
-            fmt(wall_ms, 2),
         ]);
         rows.push(row);
     }
     print_table(
         "Table 10 — fixed-step RK4 error vs the event-driven reference (t = 40)",
-        &["dt", "|q error|", "|lambda error|", "ms"],
+        &["dt", "|q error|", "|lambda error|"],
         &table,
     );
     println!("\nReference (event-driven Dormand–Prince): ({q_ref:.9}, {l_ref:.9}),");
-    println!(
-        "computed in {ref_ms:.2} ms with {} switchings located.",
-        reference.switchings.len()
-    );
+    println!("with {} switchings located.", reference.switchings.len());
+    eprintln!("reference computed in {ref_ms:.2} ms");
     println!("\nReading: the error falls roughly linearly in dt — the switching");
     println!("discontinuity caps RK4 at first order globally — so production");
     println!("runs use dt ≤ 1e-3 of the system time scale, and validation work");

@@ -3,6 +3,11 @@
 //! Runs the same Fokker–Planck problem at σ² = 0 (no physical diffusion —
 //! any spreading is numerical) under each limiter, comparing variance
 //! inflation of the advected blob and wall-clock cost.
+//!
+//! Wall-clock timings go to **stderr only**: the serialized artifact
+//! must be a pure function of the computation (byte-identical across
+//! runs), so `results/tbl6_ablation_limiter.json` carries no timing
+//! field. CI diffs two back-to-back runs to pin this.
 
 use fpk_bench::{fmt, print_table, write_json};
 use fpk_congestion::LinearExp;
@@ -19,7 +24,6 @@ struct Row {
     peak_density: f64,
     mass_error: f64,
     min_value: f64,
-    wall_ms: f64,
 }
 
 fn main() {
@@ -52,8 +56,8 @@ fn main() {
             peak_density: peak,
             mass_error: (d.mass() - 1.0).abs(),
             min_value: d.min_value(),
-            wall_ms: wall,
         };
+        eprintln!("{}: {} ms", row.limiter, fmt(wall, 1));
         table.push(vec![
             row.limiter.clone(),
             fmt(row.final_var_q, 3),
@@ -61,7 +65,6 @@ fn main() {
             fmt(row.peak_density, 4),
             format!("{:.1e}", row.mass_error),
             format!("{:.1e}", row.min_value),
-            fmt(row.wall_ms, 1),
         ]);
         rows.push(row);
     }
@@ -74,7 +77,6 @@ fn main() {
             "peak f",
             "|mass-1|",
             "min f",
-            "ms",
         ],
         &table,
     );

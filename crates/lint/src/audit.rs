@@ -1,0 +1,200 @@
+//! RNG draw-order audit: DESIGN §3f's machine-readable table against
+//! the `// draw:` annotations collected from the engine sources.
+//!
+//! The table lives in a fenced code block in DESIGN.md:
+//!
+//! ```text
+//! draw-order network.rs
+//! pkt.size_factor    byte-mode size factor at packet creation
+//! hop.service        one uniform per exponential service time
+//! draw-order workload.rs
+//! arrival.gap_u      one uniform per interarrival gap
+//! ```
+//!
+//! Each `draw-order <file>` header starts a per-file label list; the
+//! first whitespace-separated token of every following line is a
+//! label, the rest is prose. The audit fails when either side — the
+//! doc table or the source annotations — is edited alone, so the
+//! documented draw order can never drift from the code.
+
+use crate::rules::{rule, Violation};
+use std::collections::BTreeMap;
+
+/// Parse every `draw-order <file>` block out of the DESIGN.md text.
+#[must_use]
+pub fn parse_design_table(design: &str) -> BTreeMap<String, Vec<String>> {
+    let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    let mut in_fence = false;
+    for line in design.lines() {
+        let t = line.trim();
+        if t.starts_with("```") {
+            in_fence = !in_fence;
+            current = None;
+            continue;
+        }
+        if !in_fence {
+            continue;
+        }
+        if let Some(name) = t.strip_prefix("draw-order ") {
+            let name = name.trim().to_string();
+            out.entry(name.clone()).or_default();
+            current = Some(name);
+            continue;
+        }
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(cur) = &current {
+            if let Some(label) = t.split_whitespace().next() {
+                out.get_mut(cur)
+                    .expect("current table key present")
+                    .push(label.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Cross-check the DESIGN table against the annotated draw sequences
+/// (`file name → ordered labels`, as collected by the rules pass).
+#[must_use]
+pub fn audit_draw_order(design: &str, annotated: &BTreeMap<String, Vec<String>>) -> Vec<Violation> {
+    let table = parse_design_table(design);
+    let mut out = Vec::new();
+    for (file, expected) in &table {
+        let Some(actual) = annotated.get(file) else {
+            out.push(order_violation(format!(
+                "DESIGN §3f lists a draw-order table for `{file}`, but the lint \
+                 collected no annotated draws from it"
+            )));
+            continue;
+        };
+        if actual == expected {
+            continue;
+        }
+        let mut msg = format!(
+            "`{file}`: DESIGN §3f documents {} draws, the code annotates {}",
+            expected.len(),
+            actual.len()
+        );
+        for (i, (e, a)) in expected.iter().zip(actual.iter()).enumerate() {
+            if e != a {
+                msg = format!(
+                    "`{file}` draw #{}: DESIGN §3f says `{e}`, the code says `{a}`",
+                    i + 1
+                );
+                break;
+            }
+        }
+        out.push(order_violation(msg));
+    }
+    for (file, labels) in annotated {
+        if !table.contains_key(file) && !labels.is_empty() {
+            out.push(order_violation(format!(
+                "`{file}` carries {} draw annotation(s) but DESIGN §3f has no \
+                 draw-order table for it",
+                labels.len()
+            )));
+        }
+    }
+    out
+}
+
+fn order_violation(message: String) -> Violation {
+    Violation {
+        file: "DESIGN.md".to_string(),
+        line: 0,
+        rule: rule::DRAW_ORDER,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESIGN: &str = "\
+prose before
+
+```text
+draw-order network.rs
+a.one    first draw
+a.two    second draw
+draw-order workload.rs
+b.one    only draw
+```
+
+prose after
+";
+
+    fn annotated(pairs: &[(&str, &[&str])]) -> BTreeMap<String, Vec<String>> {
+        pairs
+            .iter()
+            .map(|(f, ls)| {
+                (
+                    (*f).to_string(),
+                    ls.iter().map(|l| (*l).to_string()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_parses() {
+        let t = parse_design_table(DESIGN);
+        assert_eq!(t["network.rs"], vec!["a.one", "a.two"]);
+        assert_eq!(t["workload.rs"], vec!["b.one"]);
+    }
+
+    #[test]
+    fn matching_sides_pass() {
+        let a = annotated(&[
+            ("network.rs", &["a.one", "a.two"]),
+            ("workload.rs", &["b.one"]),
+        ]);
+        assert!(audit_draw_order(DESIGN, &a).is_empty());
+    }
+
+    #[test]
+    fn editing_the_code_alone_fails() {
+        let a = annotated(&[
+            ("network.rs", &["a.one", "a.zwei"]),
+            ("workload.rs", &["b.one"]),
+        ]);
+        let v = audit_draw_order(DESIGN, &a);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("a.two") && v[0].message.contains("a.zwei"));
+    }
+
+    #[test]
+    fn editing_the_table_alone_fails() {
+        let design = DESIGN.replace("a.two    second draw\n", "");
+        let a = annotated(&[
+            ("network.rs", &["a.one", "a.two"]),
+            ("workload.rs", &["b.one"]),
+        ]);
+        let v = audit_draw_order(&design, &a);
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].message.contains("documents 1 draws"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn missing_sides_fail_both_ways() {
+        let a = annotated(&[("network.rs", &["a.one", "a.two"])]);
+        let v = audit_draw_order(DESIGN, &a);
+        assert_eq!(v.len(), 1, "table file with no annotations: {v:?}");
+
+        let a = annotated(&[
+            ("network.rs", &["a.one", "a.two"]),
+            ("workload.rs", &["b.one"]),
+            ("event.rs", &["c.one"]),
+        ]);
+        let v = audit_draw_order(DESIGN, &a);
+        assert_eq!(v.len(), 1, "annotations with no table entry: {v:?}");
+    }
+}

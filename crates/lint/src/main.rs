@@ -1,0 +1,46 @@
+//! CLI for the workspace contract lint: `cargo run -p fpk-lint`
+//! reports findings; `cargo run -p fpk-lint -- --deny` (the CI step)
+//! also exits nonzero when any are found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let deny = std::env::args().any(|a| a == "--deny");
+    let root = workspace_root();
+    let report = match fpk_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fpk-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    eprintln!(
+        "fpk-lint: {} files scanned, {} violation(s), {} allow(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.allows.len()
+    );
+    if deny && !report.violations.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `cargo run -p fpk-lint` runs from the workspace root; fall back to
+/// the manifest's grandparent when the binary is invoked directly.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().expect("current dir is readable");
+    if cwd.join("crates").is_dir() && cwd.join("DESIGN.md").is_file() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels under the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,731 @@
+//! Contract rules over scanned source. DESIGN §3h is the catalog;
+//! this module is the enforcement.
+
+use crate::scanner::{parse_directive, scan, Directive};
+use std::collections::BTreeMap;
+
+/// Rule identifiers, exactly as used in `// lint: allow(<rule>)`.
+pub mod rule {
+    /// `std::time::Instant` / `SystemTime` in deterministic lib code.
+    pub const WALL_CLOCK: &str = "wall-clock";
+    /// `HashMap` / `HashSet`: iteration order is nondeterministic.
+    pub const HASH_ORDER: &str = "hash-order";
+    /// `thread_rng`: OS-seeded, breaks replay.
+    pub const THREAD_RNG: &str = "thread-rng";
+    /// `env::var` outside the designated config accessors.
+    pub const ENV_VAR: &str = "env-var";
+    /// `.unwrap()` / `panic!` / bare `unreachable!()` in audited files.
+    pub const PANIC: &str = "panic";
+    /// `dyn` or heap allocation inside a `lint: hot-path` region.
+    pub const HOT_PATH: &str = "hot-path";
+    /// An RNG call site without a `// draw:` annotation, or a stale one.
+    pub const DRAW: &str = "draw-annotation";
+    /// Annotated draw sequence diverges from the DESIGN §3f table.
+    pub const DRAW_ORDER: &str = "draw-order";
+    /// Malformed or unbalanced lint directives.
+    pub const DIRECTIVE: &str = "directive";
+
+    /// Every rule name an `allow(...)` may reference.
+    pub const ALL: &[&str] = &[
+        WALL_CLOCK, HASH_ORDER, THREAD_RNG, ENV_VAR, PANIC, HOT_PATH, DRAW, DRAW_ORDER, DIRECTIVE,
+    ];
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path (or a descriptive pseudo-path for
+    /// cross-file findings like the draw-order audit).
+    pub file: String,
+    /// 1-based line number; 0 when the finding has no single line.
+    pub line: usize,
+    /// Rule id (see [`rule`]).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// A recorded `lint: allow` escape hatch (counted against the budget).
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+    /// Rule being allowed.
+    pub rule: String,
+    /// The mandatory justification text.
+    pub justification: String,
+}
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// Nondeterminism rules (fpk-sim / fpk-scenarios lib code).
+    pub nondet: bool,
+    /// Panic-audit (`network.rs`).
+    pub panics: bool,
+    /// RNG draw-annotation audit (`network.rs` / `workload.rs`).
+    pub draws: bool,
+}
+
+/// Result of checking one file.
+#[derive(Debug)]
+pub struct FileReport {
+    /// Findings, in line order.
+    pub violations: Vec<Violation>,
+    /// Escape hatches used.
+    pub allows: Vec<AllowRecord>,
+    /// Ordered `// draw:` labels attached to RNG call sites.
+    pub draws: Vec<String>,
+}
+
+/// Nondeterminism keywords: `(keyword, rule, why)`.
+const NONDET: &[(&str, &str, &str)] = &[
+    (
+        "Instant",
+        rule::WALL_CLOCK,
+        "wall-clock time is nondeterministic",
+    ),
+    (
+        "SystemTime",
+        rule::WALL_CLOCK,
+        "wall-clock time is nondeterministic",
+    ),
+    (
+        "HashMap",
+        rule::HASH_ORDER,
+        "iteration order is not stable across runs",
+    ),
+    (
+        "HashSet",
+        rule::HASH_ORDER,
+        "iteration order is not stable across runs",
+    ),
+    (
+        "thread_rng",
+        rule::THREAD_RNG,
+        "OS-seeded RNG breaks replay",
+    ),
+    (
+        "env::var",
+        rule::ENV_VAR,
+        "environment read outside a designated config accessor",
+    ),
+    (
+        "env::var_os",
+        rule::ENV_VAR,
+        "environment read outside a designated config accessor",
+    ),
+];
+
+/// Calls that allocate (or type-erase) and are forbidden in hot-path
+/// regions outside the declared arenas.
+const HOT_ALLOC: &[&str] = &[
+    "Box::new",
+    "format!",
+    "vec!",
+    "String::new",
+    "String::from",
+    "to_string",
+    "to_owned",
+    "to_vec",
+];
+
+/// Growth methods whose receiver must be a declared arena.
+const HOT_GROWTH: &[&str] = &[
+    ".push(",
+    ".push_back(",
+    ".push_front(",
+    ".push_str(",
+    ".extend(",
+    ".extend_from_slice(",
+    ".insert(",
+    ".reserve(",
+    ".resize(",
+];
+
+/// Check one file's source against the rules selected by `class`.
+#[must_use]
+pub fn check_file(file: &str, src: &str, class: FileClass) -> FileReport {
+    let scanned = scan(src);
+    let limit = scanned.test_start.unwrap_or(scanned.lines.len());
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut allows: Vec<AllowRecord> = Vec::new();
+    let mut draws: Vec<String> = Vec::new();
+
+    // 1. Parse directives in lib code (test code is out of scope for
+    //    the whole pass, directives included).
+    let mut directives: Vec<(usize, Directive)> = Vec::new();
+    for (idx, line) in scanned.lines.iter().enumerate().take(limit) {
+        if line.comment.is_empty() {
+            continue;
+        }
+        match parse_directive(&line.comment) {
+            None => {}
+            Some(Err(msg)) => violations.push(Violation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: rule::DIRECTIVE,
+                message: msg,
+            }),
+            Some(Ok(d)) => directives.push((idx, d)),
+        }
+    }
+
+    // 2. Attach allow/draw directives: a directive on a code-bearing
+    //    line applies to that line; on a comment-only line it applies
+    //    to the next code-bearing line.
+    let attach = |idx: usize| -> Option<usize> {
+        if !scanned.lines[idx].is_comment_only() {
+            return Some(idx);
+        }
+        ((idx + 1)..limit).find(|&j| !scanned.lines[j].is_comment_only())
+    };
+    let mut allowed: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut draw_labels: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (idx, d) in &directives {
+        match d {
+            Directive::Allow {
+                rule: r,
+                justification,
+            } => {
+                if !rule::ALL.contains(&r.as_str()) {
+                    violations.push(Violation {
+                        file: file.to_string(),
+                        line: idx + 1,
+                        rule: rule::DIRECTIVE,
+                        message: format!("allow({r}) names no known rule (known: {:?})", rule::ALL),
+                    });
+                    continue;
+                }
+                allows.push(AllowRecord {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: r.clone(),
+                    justification: justification.clone(),
+                });
+                match attach(*idx) {
+                    Some(target) => allowed.entry(target).or_default().push(r.clone()),
+                    None => violations.push(Violation {
+                        file: file.to_string(),
+                        line: idx + 1,
+                        rule: rule::DIRECTIVE,
+                        message: format!("dangling allow({r}): no code line follows it"),
+                    }),
+                }
+            }
+            Directive::Draw { label } => match attach(*idx) {
+                Some(target) => draw_labels.entry(target).or_default().push(label.clone()),
+                None => violations.push(Violation {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: rule::DIRECTIVE,
+                    message: format!("dangling draw annotation `{label}`: no code line follows it"),
+                }),
+            },
+            Directive::HotPath { .. } | Directive::End => {}
+        }
+    }
+
+    // 3. Hot-path regions: [start directive line, end directive line],
+    //    exclusive on both ends; nesting is a directive error.
+    let mut regions: Vec<(usize, usize, Vec<String>)> = Vec::new();
+    let mut open: Option<(usize, Vec<String>)> = None;
+    for (idx, d) in &directives {
+        match d {
+            Directive::HotPath { arenas } => {
+                if open.is_some() {
+                    violations.push(Violation {
+                        file: file.to_string(),
+                        line: idx + 1,
+                        rule: rule::DIRECTIVE,
+                        message: "nested `lint: hot-path` — close the previous region first"
+                            .to_string(),
+                    });
+                } else {
+                    open = Some((*idx, arenas.clone()));
+                }
+            }
+            Directive::End => match open.take() {
+                Some((start, arenas)) => regions.push((start, *idx, arenas)),
+                None => violations.push(Violation {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: rule::DIRECTIVE,
+                    message: "`lint: end` without an open `lint: hot-path` region".to_string(),
+                }),
+            },
+            _ => {}
+        }
+    }
+    if let Some((start, _)) = open {
+        violations.push(Violation {
+            file: file.to_string(),
+            line: start + 1,
+            rule: rule::DIRECTIVE,
+            message: "unclosed `lint: hot-path` region (missing `lint: end`)".to_string(),
+        });
+    }
+    let region_arenas = |idx: usize| -> Option<&[String]> {
+        regions
+            .iter()
+            .find(|(s, e, _)| *s < idx && idx < *e)
+            .map(|(_, _, a)| a.as_slice())
+    };
+
+    // 4. Per-line rule checks on lib code.
+    for (idx, line) in scanned.lines.iter().enumerate().take(limit) {
+        let code = line.code.as_str();
+        if code.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let is_allowed = |r: &str| allowed.get(&idx).is_some_and(|v| v.iter().any(|a| a == r));
+
+        if class.nondet {
+            for &(kw, r, why) in NONDET {
+                // `env::var` must not also fire on `env::var_os` (its
+                // own keyword covers that).
+                if kw == "env::var" && contains_word(code, "env::var_os") {
+                    continue;
+                }
+                if contains_word(code, kw) && !is_allowed(r) {
+                    violations.push(Violation {
+                        file: file.to_string(),
+                        line: lineno,
+                        rule: r,
+                        message: format!("`{kw}`: {why}"),
+                    });
+                }
+            }
+        }
+
+        if class.panics && !is_allowed(rule::PANIC) {
+            if code.contains(".unwrap()") {
+                violations.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: rule::PANIC,
+                    message: "unwrap() hides which precondition failed — use \
+                              expect(\"…\") naming it, or lint: allow(panic)"
+                        .to_string(),
+                });
+            }
+            if contains_word(code, "panic!") {
+                violations.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: rule::PANIC,
+                    message: "explicit panic! in library code — return an error or \
+                              lint: allow(panic) with the precondition it guards"
+                        .to_string(),
+                });
+            }
+            if code.contains("unreachable!()") {
+                violations.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: rule::PANIC,
+                    message: "bare unreachable!() — name the invariant that makes \
+                              this arm impossible: unreachable!(\"…\")"
+                        .to_string(),
+                });
+            }
+        }
+
+        if let Some(arenas) = region_arenas(idx) {
+            if !is_allowed(rule::HOT_PATH) {
+                check_hot_line(file, lineno, code, arenas, &mut violations);
+            }
+        }
+
+        let site = is_draw_site(code);
+        if class.draws && site && !draw_labels.contains_key(&idx) && !is_allowed(rule::DRAW) {
+            violations.push(Violation {
+                file: file.to_string(),
+                line: lineno,
+                rule: rule::DRAW,
+                message: "RNG call site without a `// draw: <label>` annotation \
+                          (the label must appear in DESIGN §3f's draw-order table)"
+                    .to_string(),
+            });
+        }
+        maybe_stale_draws(file, idx, site, &draw_labels, &mut draws, &mut violations);
+    }
+
+    FileReport {
+        violations,
+        allows,
+        draws,
+    }
+}
+
+/// Collect the labels attached to line `idx` when it is a draw site,
+/// or flag them as stale when it is not.
+fn maybe_stale_draws(
+    file: &str,
+    idx: usize,
+    is_site: bool,
+    draw_labels: &BTreeMap<usize, Vec<String>>,
+    draws: &mut Vec<String>,
+    violations: &mut Vec<Violation>,
+) {
+    let Some(labels) = draw_labels.get(&idx) else {
+        return;
+    };
+    for label in labels {
+        if is_site {
+            draws.push(label.clone());
+        } else {
+            violations.push(Violation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: rule::DRAW,
+                message: format!("stale `// draw: {label}` — the attached line has no RNG call"),
+            });
+        }
+    }
+}
+
+/// Hot-path allocation checks for one in-region code line.
+fn check_hot_line(
+    file: &str,
+    lineno: usize,
+    code: &str,
+    arenas: &[String],
+    violations: &mut Vec<Violation>,
+) {
+    if contains_word(code, "dyn") {
+        violations.push(Violation {
+            file: file.to_string(),
+            line: lineno,
+            rule: rule::HOT_PATH,
+            message: "`dyn` dispatch inside a hot-path region — monomorphize instead \
+                      (DESIGN §3g)"
+                .to_string(),
+        });
+    }
+    for &kw in HOT_ALLOC {
+        if contains_word(code, kw) {
+            violations.push(Violation {
+                file: file.to_string(),
+                line: lineno,
+                rule: rule::HOT_PATH,
+                message: format!("`{kw}` allocates inside a hot-path region"),
+            });
+        }
+    }
+    for &method in HOT_GROWTH {
+        let mut start = 0;
+        while let Some(p) = code[start..].find(method) {
+            let at = start + p;
+            match receiver_of(code, at) {
+                Some(recv) if arenas.iter().any(|a| a == &recv) => {}
+                Some(recv) => violations.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: rule::HOT_PATH,
+                    message: format!(
+                        "`{recv}{method}…)` grows a non-arena container in a hot-path \
+                         region (declared arenas: {arenas:?})"
+                    ),
+                }),
+                None => violations.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: rule::HOT_PATH,
+                    message: format!(
+                        "`{method}…)` on an unrecognized receiver in a hot-path region \
+                         — bind the container to a name so the arena list can vouch for it"
+                    ),
+                }),
+            }
+            start = at + method.len();
+        }
+    }
+}
+
+/// Word-boundary substring search. `kw` is ASCII; boundaries are
+/// non-`[A-Za-z0-9_]` on both sides, so `dyn_flows` never matches `dyn`
+/// and `env::variant` never matches `env::var`.
+#[must_use]
+pub fn contains_word(code: &str, kw: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(p) = code[start..].find(kw) {
+        let at = start + p;
+        let end = at + kw.len();
+        let before_ok = at == 0 || !is_word_byte(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_word_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when the code line *uses* the engine RNG: a word-bounded `rng`
+/// that is not a `let` binding, not a `rng:` parameter/field
+/// declaration, and not a `.rng` field access (seed plumbing).
+#[must_use]
+pub fn is_draw_site(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(p) = code[start..].find("rng") {
+        let at = start + p;
+        let end = at + 3;
+        start = at + 1;
+        let before_ok = at == 0 || !is_word_byte(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_word_byte(bytes[end]);
+        if !before_ok || !after_ok {
+            continue;
+        }
+        if at > 0 && bytes[at - 1] == b'.' {
+            continue; // field access: `cfg.rng` seed plumbing, not a draw
+        }
+        if code[end..].trim_start().starts_with(':') {
+            continue; // parameter or field declaration `rng: &mut R`
+        }
+        let before = code[..at].trim_end();
+        if before.ends_with("let") || before.ends_with("let mut") {
+            continue; // binding, not a draw
+        }
+        return true;
+    }
+    false
+}
+
+/// Extract the receiver identifier of a method call whose `.` is at
+/// byte `dot`, skipping one trailing index/call bracket group
+/// (`fifos[hop].push_back` → `fifos`). `None` when the receiver is not
+/// a plain (possibly indexed) identifier.
+fn receiver_of(code: &str, dot: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut k = dot;
+    loop {
+        if k == 0 {
+            return None;
+        }
+        let c = bytes[k - 1];
+        if c == b']' || c == b')' {
+            let open = if c == b']' { b'[' } else { b'(' };
+            let mut depth = 1;
+            k -= 1;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                if bytes[k] == c {
+                    depth += 1;
+                } else if bytes[k] == open {
+                    depth -= 1;
+                }
+            }
+            if depth != 0 {
+                return None;
+            }
+        } else {
+            break;
+        }
+    }
+    let end = k;
+    while k > 0 && is_word_byte(bytes[k - 1]) {
+        k -= 1;
+    }
+    if k == end {
+        None
+    } else {
+        Some(code[k..end].to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM: FileClass = FileClass {
+        nondet: true,
+        panics: false,
+        draws: false,
+    };
+
+    fn check(src: &str, class: FileClass) -> FileReport {
+        check_file("test.rs", src, class)
+    }
+
+    #[test]
+    fn nondet_keywords_fire_in_code_only() {
+        let r = check(
+            "use std::time::Instant;\nlet m = HashMap::new();\n// Instant in a comment\nlet s = \"SystemTime\";\n",
+            SIM,
+        );
+        let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec![rule::WALL_CLOCK, rule::HASH_ORDER]);
+    }
+
+    #[test]
+    fn env_var_os_fires_once() {
+        let r = check("let v = std::env::var_os(\"X\");\n", SIM);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].rule, rule::ENV_VAR);
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses_and_is_recorded() {
+        let r = check(
+            "// lint: allow(env-var) — designated accessor\nlet v = std::env::var(\"FPK_THREADS\");\n",
+            SIM,
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.allows.len(), 1);
+        assert_eq!(r.allows[0].rule, "env-var");
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_violation() {
+        let r = check(
+            "// lint: allow(env-var)\nlet v = std::env::var(\"X\");\n",
+            SIM,
+        );
+        let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&rule::DIRECTIVE));
+        assert!(
+            rules.contains(&rule::ENV_VAR),
+            "malformed allow must not suppress"
+        );
+    }
+
+    #[test]
+    fn trailing_allow_applies_to_its_own_line() {
+        let r = check(
+            "let v = std::env::var(\"X\"); // lint: allow(env-var) — accessor\n",
+            SIM,
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn test_module_is_out_of_scope() {
+        let r = check(
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    fn t() { x.unwrap(); }\n}\n",
+            FileClass { nondet: true, panics: true, draws: true },
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn panic_rules() {
+        let r = check(
+            "a.unwrap();\npanic!(\"boom\");\nunreachable!();\nunreachable!(\"named invariant\");\nb.expect(\"precondition\");\n",
+            FileClass { panics: true, ..FileClass::default() },
+        );
+        let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec![rule::PANIC, rule::PANIC, rule::PANIC]);
+    }
+
+    #[test]
+    fn hot_path_region_checks() {
+        let src = "\
+// lint: hot-path arena(ev, fifos)
+ev.push(x);
+fifos[hop].push_back(y);
+other.push(z);
+let b = Box::new(1);
+let s = x.to_string();
+// lint: end
+let fine = Box::new(2);
+";
+        let r = check(src, FileClass::default());
+        let lines: Vec<usize> = r.violations.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![4, 5, 6], "{:?}", r.violations);
+        assert!(r.violations.iter().all(|v| v.rule == rule::HOT_PATH));
+    }
+
+    #[test]
+    fn dyn_word_boundary_spares_dyn_flows() {
+        let src = "// lint: hot-path arena(dyn_free)\ndyn_free.push(s);\nlet d = dyn_flows[i];\n// lint: end\n";
+        let r = check(src, FileClass::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unbalanced_regions_are_directive_errors() {
+        let r = check(
+            "// lint: end\n// lint: hot-path\nx();\n",
+            FileClass::default(),
+        );
+        let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec![rule::DIRECTIVE, rule::DIRECTIVE]);
+    }
+
+    #[test]
+    fn draw_sites_require_annotations() {
+        let class = FileClass {
+            draws: true,
+            ..FileClass::default()
+        };
+        let r = check("let u: f64 = rng.gen();\n", class);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, rule::DRAW);
+
+        let r = check("let u: f64 = rng.gen(); // draw: flow.route\n", class);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.draws, vec!["flow.route".to_string()]);
+    }
+
+    #[test]
+    fn stale_draw_annotation_is_flagged() {
+        let class = FileClass {
+            draws: true,
+            ..FileClass::default()
+        };
+        let r = check("let x = 1; // draw: ghost\n", class);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, rule::DRAW);
+        assert!(r.draws.is_empty());
+    }
+
+    #[test]
+    fn declarations_and_params_are_not_draw_sites() {
+        assert!(!is_draw_site("let mut rng = StdRng::seed_from_u64(seed);"));
+        assert!(!is_draw_site("fn f<R: Rng>(rng: &mut R) -> f64 {"));
+        assert!(!is_draw_site(
+            "let mut draw_size = |rng: &mut StdRng| -> f32 {"
+        ));
+        assert!(!is_draw_site("match &cfg.rng {"));
+        assert!(is_draw_site("let u: f64 = rng.gen::<f64>();"));
+        assert!(is_draw_site("size: draw_size(&mut rng),"));
+        assert!(is_draw_site("pb.dist.sample(rng) as f64"));
+        assert!(is_draw_site("&mut rng,"));
+    }
+
+    #[test]
+    fn receiver_extraction() {
+        let find = |code: &str| {
+            let at = code.find(".push").expect("method present");
+            receiver_of(code, at)
+        };
+        assert_eq!(find("self.keys.push(k)"), Some("keys".to_string()));
+        assert_eq!(find("fifos[hop].push_back(w)"), Some("fifos".to_string()));
+        assert_eq!(find("trace_q[hop].push(len)"), Some("trace_q".to_string()));
+        assert_eq!(find("x().collect::<Vec<_>>().push(v)"), None);
+    }
+}

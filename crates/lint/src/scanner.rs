@@ -1,0 +1,450 @@
+//! A minimal, lexically correct scanner for Rust source files.
+//!
+//! The contract lint needs to know, per line, which characters are
+//! *code* and which are comment or literal content, so that rule
+//! keywords inside strings, doc comments, and nested block comments
+//! never false-positive, and so lint directives are recognized only in
+//! real `//` comments. A full parser (`syn`) is deliberately out of
+//! scope — vendored deps stay as-is (DESIGN §4) — and the rules only
+//! need lexical structure: line comments, nested block comments,
+//! string / raw-string / byte-string / char literals, and the
+//! char-vs-lifetime ambiguity.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanLine {
+    /// The line with comments removed and literal contents blanked to
+    /// spaces. Quote characters are kept, so `"Instant"` scans as
+    /// `"       "` — visibly a literal, never a keyword match.
+    pub code: String,
+    /// Text of the first `//` comment on the line, slashes stripped.
+    /// Empty when the line has no line comment. Block-comment text is
+    /// never captured: lint directives must be `//` comments.
+    pub comment: String,
+}
+
+impl ScanLine {
+    /// True when the line has no code other than whitespace.
+    #[must_use]
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct Scanned {
+    /// Per-line code/comment split; index 0 is line 1.
+    pub lines: Vec<ScanLine>,
+    /// Index of the first line whose code carries a `#[cfg(test)]`
+    /// attribute. Test modules are file-final in this workspace, so
+    /// everything from this line on is exempt from the lib-code rules.
+    pub test_start: Option<usize>,
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Code,
+    /// Block comment at the given nesting depth.
+    Block(u32),
+    /// Ordinary (escapable) string or byte-string literal.
+    Str,
+    /// Raw string literal closed by `"` followed by this many `#`s.
+    RawStr(usize),
+}
+
+/// Scan `src` into per-line code/comment parts.
+#[must_use]
+pub fn scan(src: &str) -> Scanned {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(ScanLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Block(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    if chars.get(i + 1) == Some(&'\n') {
+                        // Line-continuation backslash: leave the newline
+                        // for the line handler above.
+                        i += 1;
+                    } else {
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    let mut j = i + 2;
+                    let mut text = String::new();
+                    while j < chars.len() && chars[j] != '\n' {
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                    if comment.is_empty() {
+                        comment = text;
+                    }
+                    i = j;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    i = scan_char_or_lifetime(&chars, i, &mut code);
+                } else {
+                    let prev_is_ident = code
+                        .chars()
+                        .last()
+                        .is_some_and(|p| p.is_alphanumeric() || p == '_');
+                    if !prev_is_ident && (c == 'r' || c == 'b') {
+                        if let Some((prefix_len, hashes, raw)) = literal_prefix(&chars, i) {
+                            for _ in 0..prefix_len {
+                                code.push(' ');
+                            }
+                            code.push('"');
+                            mode = if raw { Mode::RawStr(hashes) } else { Mode::Str };
+                            i += prefix_len + 1;
+                            continue;
+                        }
+                    }
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(ScanLine { code, comment });
+    let test_start = lines.iter().position(|l| is_test_cfg(&l.code));
+    Scanned { lines, test_start }
+}
+
+/// Handle `'` in code position: either a char literal (blank its
+/// contents) or a lifetime / loop label (plain code). Returns the new
+/// scan index.
+fn scan_char_or_lifetime(chars: &[char], i: usize, code: &mut String) -> usize {
+    if chars.get(i + 1) == Some(&'\\') {
+        // Escaped char literal: '\n', '\'', '\u{…}'. Blank everything
+        // up to the closing quote; the char right after the backslash
+        // is consumed unconditionally so '\'' terminates correctly.
+        code.push('\'');
+        let mut j = i + 2;
+        if j < chars.len() {
+            code.push(' ');
+            j += 1;
+        }
+        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+            code.push(' ');
+            j += 1;
+        }
+        if chars.get(j) == Some(&'\'') {
+            code.push('\'');
+            j += 1;
+        }
+        j
+    } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+        // Plain one-char literal 'x'.
+        code.push_str("' '");
+        i + 3
+    } else {
+        // Lifetime or loop label: the quote is ordinary code.
+        code.push('\'');
+        i + 1
+    }
+}
+
+/// Detect a raw/byte string literal prefix (`r"`, `r#"`, `b"`, `br#"` …)
+/// starting at `i`. Returns `(chars before the opening quote, raw-hash
+/// count, is_raw)`, or `None` when `i` starts an ordinary identifier.
+fn literal_prefix(chars: &[char], i: usize) -> Option<(usize, usize, bool)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0;
+    if raw {
+        while chars.get(j + hashes) == Some(&'#') {
+            hashes += 1;
+        }
+    }
+    let quote = j + hashes;
+    if quote == i || chars.get(quote) != Some(&'"') {
+        return None;
+    }
+    Some((quote - i, hashes, raw))
+}
+
+/// True when the scanned code line carries a test-cfg attribute.
+fn is_test_cfg(code: &str) -> bool {
+    let squashed: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+    squashed.contains("#[cfg(test)]") || squashed.contains("#[cfg(all(test")
+}
+
+/// A lint directive parsed from a `//` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `// lint: allow(<rule>) — <justification>`: suppress `<rule>` on
+    /// the attached line. The justification is mandatory.
+    Allow {
+        /// Rule identifier being allowed (see [`crate::rules::rule`]).
+        rule: String,
+        /// Why the escape hatch is justified here.
+        justification: String,
+    },
+    /// `// lint: hot-path` or `// lint: hot-path arena(a, b, c)`: open
+    /// an allocation-free region; the named arenas may still grow.
+    HotPath {
+        /// Container names exempt from the growth checks (arena-backed
+        /// storage that amortizes to no steady-state allocation).
+        arenas: Vec<String>,
+    },
+    /// `// lint: end`: close the current hot-path region.
+    End,
+    /// `// draw: <label>`: name an RNG draw site for the order audit.
+    Draw {
+        /// The draw label, matched against the DESIGN §3f table.
+        label: String,
+    },
+}
+
+/// Parse a line comment into a directive.
+///
+/// Returns `None` for ordinary comments, and `Some(Err(message))` for
+/// text that starts like a directive but is malformed — malformed
+/// directives are violations, never silently ignored prose.
+pub fn parse_directive(comment: &str) -> Option<Result<Directive, String>> {
+    let t = comment.trim();
+    if let Some(rest) = t.strip_prefix("lint:") {
+        let rest = rest.trim();
+        if rest == "end" {
+            return Some(Ok(Directive::End));
+        }
+        if let Some(r) = rest.strip_prefix("hot-path") {
+            let r = r.trim();
+            if r.is_empty() {
+                return Some(Ok(Directive::HotPath { arenas: Vec::new() }));
+            }
+            let Some(inner) = r.strip_prefix("arena(").and_then(|x| x.strip_suffix(')')) else {
+                return Some(Err(format!("malformed hot-path arena list: `{r}`")));
+            };
+            let arenas: Vec<String> = inner
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            return Some(Ok(Directive::HotPath { arenas }));
+        }
+        if let Some(r) = rest.strip_prefix("allow(") {
+            let Some(close) = r.find(')') else {
+                return Some(Err("allow( without closing paren".to_string()));
+            };
+            let rule = r[..close].trim().to_string();
+            let justification = r[close + 1..]
+                .trim()
+                .trim_start_matches(['\u{2014}', '\u{2013}', '-', ':'])
+                .trim()
+                .to_string();
+            if rule.is_empty() {
+                return Some(Err("allow() with an empty rule name".to_string()));
+            }
+            if justification.is_empty() {
+                return Some(Err(format!(
+                    "allow({rule}) without a justification — every escape hatch must say why"
+                )));
+            }
+            return Some(Ok(Directive::Allow {
+                rule,
+                justification,
+            }));
+        }
+        return Some(Err(format!("unknown lint directive: `{t}`")));
+    }
+    if let Some(rest) = t.strip_prefix("draw:") {
+        let label = rest.split_whitespace().next().unwrap_or("").to_string();
+        if label.is_empty() {
+            return Some(Err("draw: without a label".to_string()));
+        }
+        return Some(Ok(Directive::Draw { label }));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan(src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_split_out() {
+        let s = scan("let x = 1; // draw: foo\n");
+        assert_eq!(s.lines[0].code, "let x = 1; ");
+        assert_eq!(s.lines[0].comment, " draw: foo");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = codes("let s = \"Instant HashMap\";\n");
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains('"'));
+        assert!(c[0].ends_with(';'));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let c = codes("let s = \"a\\\"Instant\\\"b\"; let y = 2;\n");
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let c = codes("let s = r#\"thread_rng \"quoted\" inner\"#; let z = 3;\n");
+        assert!(!c[0].contains("thread_rng"));
+        assert!(c[0].contains("let z = 3;"));
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let c = codes("let s = b\"SystemTime\"; let w = 4;\n");
+        assert!(!c[0].contains("SystemTime"));
+        assert!(c[0].contains("let w = 4;"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_removed() {
+        let c = codes("a /* x /* HashSet */ y */ b\n");
+        assert_eq!(c[0].trim_start(), "a  b");
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let c = codes("a /* one\ntwo Instant\nthree */ b\n");
+        assert_eq!(c[0], "a ");
+        assert_eq!(c[1], "");
+        assert_eq!(c[2], " b");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let c = codes("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; s.find(')'); }\n");
+        assert!(c[0].contains("<'a>"));
+        assert!(c[0].contains("&'a str"));
+        // The '"' char literal must not open a string.
+        assert!(c[0].contains("find"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_strings() {
+        let c = codes("let s = \"first\nsecond Instant\nthird\"; let t = 5;\n");
+        assert!(!c[1].contains("Instant"));
+        assert!(c[2].contains("let t = 5;"));
+    }
+
+    #[test]
+    fn identifiers_ending_in_r_do_not_start_raw_strings() {
+        // `for` ends with `r` right before a `"`-ish context; and
+        // `var"x"` cannot occur in valid Rust, but `br`/`r` must only
+        // trigger at identifier boundaries.
+        let c = codes("let abr = 1; let r = 2; for x in y { }\n");
+        assert_eq!(c[0], "let abr = 1; let r = 2; for x in y { }");
+    }
+
+    #[test]
+    fn test_cfg_is_found() {
+        let s = scan("fn a() {}\n#[cfg(test)]\nmod tests {}\n");
+        assert_eq!(s.test_start, Some(1));
+    }
+
+    #[test]
+    fn directives_parse() {
+        assert_eq!(
+            parse_directive(" lint: allow(env-var) — FPK_THREADS accessor"),
+            Some(Ok(Directive::Allow {
+                rule: "env-var".to_string(),
+                justification: "FPK_THREADS accessor".to_string()
+            }))
+        );
+        assert_eq!(
+            parse_directive(" lint: hot-path arena(ev, fifos)"),
+            Some(Ok(Directive::HotPath {
+                arenas: vec!["ev".to_string(), "fifos".to_string()]
+            }))
+        );
+        assert_eq!(parse_directive(" lint: end"), Some(Ok(Directive::End)));
+        assert_eq!(
+            parse_directive(" draw: flow.route — one uniform"),
+            Some(Ok(Directive::Draw {
+                label: "flow.route".to_string()
+            }))
+        );
+        assert_eq!(parse_directive(" ordinary prose"), None);
+        assert!(matches!(
+            parse_directive(" lint: allow(panic)"),
+            Some(Err(_))
+        ));
+        assert!(matches!(
+            parse_directive(" lint: alow(x) — typo"),
+            Some(Err(_))
+        ));
+        assert!(matches!(parse_directive(" draw:"), Some(Err(_))));
+    }
+
+    #[test]
+    fn doc_comments_are_not_directives() {
+        let s = scan("/// lint: allow(panic) — not a directive, doc prose\nfn f() {}\n");
+        assert_eq!(parse_directive(&s.lines[0].comment), None);
+    }
+}

@@ -1,0 +1,98 @@
+//! Fixture-driven rule tests: each `fixtures/<name>.rs` is scanned with
+//! the class flags named in its `fixtures/<name>.expect` manifest and
+//! must produce exactly the manifested `(line, rule)` violations (and,
+//! when listed, exactly the manifested draw labels in order).
+//!
+//! Manifest grammar, one item per line:
+//! - `class: [nondet] [panics] [draws]` (required first entry)
+//! - `draws: <label> …` (optional: expected collected labels, in order)
+//! - `<line> <rule>` (one expected violation)
+
+use fpk_lint::rules::{check_file, FileClass};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+type Manifest = (FileClass, BTreeSet<(usize, String)>, Option<Vec<String>>);
+
+fn parse_manifest(name: &str, text: &str) -> Manifest {
+    let mut class = FileClass {
+        nondet: false,
+        panics: false,
+        draws: false,
+    };
+    let mut expected = BTreeSet::new();
+    let mut draws = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(flags) = line.strip_prefix("class:") {
+            for f in flags.split_whitespace() {
+                match f {
+                    "nondet" => class.nondet = true,
+                    "panics" => class.panics = true,
+                    "draws" => class.draws = true,
+                    other => panic!("{name}: unknown class flag {other:?}"),
+                }
+            }
+        } else if let Some(labels) = line.strip_prefix("draws:") {
+            draws = Some(labels.split_whitespace().map(str::to_string).collect());
+        } else {
+            let (lineno, rule) = line
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("{name}: malformed manifest line {line:?}"));
+            expected.insert((
+                lineno
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name}: bad line number in {line:?}")),
+                rule.trim().to_string(),
+            ));
+        }
+    }
+    (class, expected, draws)
+}
+
+#[test]
+fn fixtures_match_their_manifests() {
+    let dir = fixture_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixture dir exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .map(|p| {
+            p.file_stem()
+                .expect("fixture file has a stem")
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no fixtures found in {}", dir.display());
+    for name in &names {
+        let src = std::fs::read_to_string(dir.join(format!("{name}.rs"))).expect("fixture source");
+        let manifest = std::fs::read_to_string(dir.join(format!("{name}.expect")))
+            .unwrap_or_else(|_| panic!("fixture {name} has no .expect manifest"));
+        let (class, expected, expected_draws) = parse_manifest(name, &manifest);
+        let report = check_file(&format!("fixtures/{name}.rs"), &src, class);
+        let actual: BTreeSet<(usize, String)> = report
+            .violations
+            .iter()
+            .map(|v| (v.line, v.rule.to_string()))
+            .collect();
+        assert_eq!(
+            actual, expected,
+            "fixture {name}: violations diverge from the manifest"
+        );
+        if let Some(d) = expected_draws {
+            assert_eq!(
+                report.draws, d,
+                "fixture {name}: collected draw labels diverge"
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: rule keywords in strings and comments never fire.
+// Instant, SystemTime, HashMap, HashSet, thread_rng, env::var, panic!
+/* block comment with unreachable!() and .unwrap() and dyn
+   /* nested: Box::new, format!, vec!, rng.gen() */
+   still inside the outer comment: thread_rng */
+pub fn payloads() -> (usize, usize, usize) {
+    let a = "Instant::now() and SystemTime and HashMap::new()";
+    let b = r#"thread_rng() and env::var("X") and panic!("boom")"#;
+    let c = "multi-line literal with unreachable!()
+        and .unwrap() and dyn Trait and rng.gen() inside";
+    (a.len(), b.len(), c.len())
+}
+
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    let marker = 'r';
+    let escaped = '\'';
+    let _ = (marker, escaped);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_are_exempt() {
+        let _ = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        let _ = m.len().to_string();
+        assert!(m.get(&1).copied().unwrap() == 2);
+    }
+}

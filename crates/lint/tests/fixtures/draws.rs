@@ -1,0 +1,23 @@
+//! Fixture: RNG draw-order annotations.
+use rand::Rng;
+
+pub fn draws<R: Rng>(rng: &mut R) -> f64 {
+    let a: f64 = rng.gen(); // draw: fix.a — first uniform
+    let b: f64 = rng.gen();
+    // draw: fix.c — attaches to the next code-bearing line
+    let c: f64 = rng.gen();
+    a + b + c
+}
+
+pub fn stale(x: f64) -> f64 {
+    // draw: fix.stale — the attached line has no RNG call
+    x * 2.0
+}
+
+pub struct Seeded {
+    rng: u64,
+}
+
+pub fn plumbing(s: &Seeded) -> u64 {
+    s.rng
+}

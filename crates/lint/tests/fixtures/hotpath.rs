@@ -1,0 +1,26 @@
+//! Fixture: hot-path region allocation rules.
+pub fn cold(xs: &mut Vec<u32>) {
+    xs.push(1);
+    let s = format!("{}", xs.len());
+    drop(s);
+}
+
+// lint: hot-path arena(out, keys)
+pub fn hot(out: &mut Vec<u32>, other: &mut Vec<u32>, keys: &mut Vec<u32>) {
+    out.push(1);
+    keys.push(2);
+    other.push(3);
+    let b = Box::new(4u32);
+    let s = 5u32.to_string();
+    let v = vec![*b, s.len() as u32];
+    drop(v);
+}
+// lint: end
+
+// lint: hot-path
+pub fn hot_dyn(f: &dyn Fn() -> u32) -> u32 {
+    f()
+}
+// lint: end
+
+// lint: end

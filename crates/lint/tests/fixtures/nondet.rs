@@ -1,0 +1,43 @@
+//! Fixture: nondeterminism keywords in library code.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn timings() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn lookup() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    drop(m);
+    let s: std::collections::HashSet<u32> = Default::default();
+    drop(s);
+}
+
+pub fn keyword_payloads() -> usize {
+    // Comment text mentioning thread_rng, Instant and HashMap is fine.
+    let label = "thread_rng and Instant and HashMap";
+    label.len()
+}
+
+pub fn os_rng() -> u64 {
+    let mut r = rand::thread_rng();
+    r.next_u64()
+}
+
+pub fn allowed_accessor() -> Option<String> {
+    // lint: allow(env-var) — FIXTURE_VAR is this fixture's designated accessor.
+    std::env::var("FIXTURE_VAR").ok()
+}
+
+pub fn var_os_read() -> bool {
+    std::env::var_os("FIXTURE_VAR").is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

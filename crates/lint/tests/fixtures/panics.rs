@@ -1,0 +1,22 @@
+//! Fixture: panic-rule checks (network.rs-class file).
+pub fn lookup(xs: &[u32], i: usize) -> u32 {
+    xs.get(i).copied().unwrap()
+}
+
+pub fn checked(xs: &[u32], i: usize) -> u32 {
+    *xs.get(i).expect("index within bounds by construction")
+}
+
+pub fn fail(kind: u8) -> u32 {
+    match kind {
+        0 => 0,
+        1 => unreachable!(),
+        2 => unreachable!("kind 2 is filtered out by validate()"),
+        _ => panic!("bad kind"),
+    }
+}
+
+pub fn tolerated() -> u32 {
+    // lint: allow(panic) — fixture: this panic is the documented contract.
+    panic!("documented contract")
+}

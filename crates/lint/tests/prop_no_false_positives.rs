@@ -1,0 +1,129 @@
+//! Property tests: rule keywords embedded in string literals, line
+//! comments, and (nested) block comments must never produce a
+//! violation, whatever surrounds them.
+
+use fpk_lint::rules::{check_file, FileClass};
+use proptest::prelude::*;
+
+const ALL: FileClass = FileClass {
+    nondet: true,
+    panics: true,
+    draws: true,
+};
+
+/// Every keyword any rule matches on.
+const KEYWORDS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "HashMap",
+    "HashSet",
+    "thread_rng",
+    "env::var",
+    "env::var_os",
+    ".unwrap()",
+    "panic!",
+    "unreachable!()",
+    "dyn",
+    "Box::new",
+    "format!",
+    "vec!",
+    "to_string",
+    ".push(",
+    "rng.gen()",
+];
+
+/// Alphabet for random filler safe inside every context we embed into:
+/// no `"` or `\` (string literals), no `*` or `/` (block-comment
+/// delimiters), no newline.
+const FILLER: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ_0123456789.,:;!?()<>[]{}+-=&|#@'";
+
+fn filler(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| FILLER[i % FILLER.len()] as char)
+        .collect()
+}
+
+fn assert_clean(src: &str) {
+    let report = check_file("prop.rs", src, ALL);
+    assert!(
+        report.violations.is_empty(),
+        "false positive on:\n{src}\n{:?}",
+        report.violations
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn keywords_in_string_literals_never_fire(
+        kw in prop::sample::select(KEYWORDS.to_vec()),
+        pre in prop::collection::vec(0usize..1000, 0..24),
+        post in prop::collection::vec(0usize..1000, 0..24),
+    ) {
+        let (pre, post) = (filler(&pre), filler(&post));
+        let src = format!(
+            "pub fn f() -> usize {{\n    let s = \"{pre}{kw}{post}\";\n    s.len()\n}}\n"
+        );
+        assert_clean(&src);
+    }
+
+    #[test]
+    fn keywords_in_raw_strings_never_fire(
+        kw in prop::sample::select(KEYWORDS.to_vec()),
+        pre in prop::collection::vec(0usize..1000, 0..24),
+        post in prop::collection::vec(0usize..1000, 0..24),
+    ) {
+        let (pre, post) = (filler(&pre), filler(&post));
+        let src = format!(
+            "pub fn f() -> usize {{\n    let s = r#\"{pre}\"{kw}\"{post}\"#;\n    s.len()\n}}\n"
+        );
+        assert_clean(&src);
+    }
+
+    #[test]
+    fn keywords_in_line_comments_never_fire(
+        kw in prop::sample::select(KEYWORDS.to_vec()),
+        pre in prop::collection::vec(0usize..1000, 0..24),
+        post in prop::collection::vec(0usize..1000, 0..24),
+    ) {
+        let (pre, post) = (filler(&pre), filler(&post));
+        let src = format!(
+            "pub fn f() -> u32 {{\n    // {pre} {kw} {post}\n    7\n}}\n"
+        );
+        assert_clean(&src);
+    }
+
+    #[test]
+    fn keywords_in_nested_block_comments_never_fire(
+        kw in prop::sample::select(KEYWORDS.to_vec()),
+        pre in prop::collection::vec(0usize..1000, 0..24),
+        post in prop::collection::vec(0usize..1000, 0..24),
+        nest in 0usize..3,
+    ) {
+        let (pre, post) = (filler(&pre), filler(&post));
+        let open = "/* ".repeat(nest + 1);
+        let close = " */".repeat(nest + 1);
+        let src = format!(
+            "pub fn f() -> u32 {{\n    {open}{pre} {kw} {post}{close}\n    7\n}}\n"
+        );
+        assert_clean(&src);
+    }
+
+    #[test]
+    fn keywords_inside_test_cfg_never_fire(
+        kw in prop::sample::select(KEYWORDS.to_vec()),
+        pad in prop::collection::vec(0usize..1000, 0..24),
+    ) {
+        let pad = filler(&pad);
+        // Violating code *after* `#[cfg(test)]` is exempt by the
+        // file-final test-module convention — the raw keyword appears
+        // as code, not inside a literal.
+        let src = format!(
+            "pub fn lib_code() -> u32 {{ 7 }}\n\n#[cfg(test)]\nmod tests {{\n    // {pad}\n    fn helper() {{ {kw} }}\n}}\n"
+        );
+        assert_clean(&src);
+    }
+}

@@ -1,0 +1,59 @@
+//! Tier-1 wrapper around the workspace contract lint: the repository's
+//! own sources must lint clean, with the escape-hatch budget held to
+//! at most 10 justified `lint: allow` annotations.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = workspace_root();
+    let report = fpk_lint::lint_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        report.files_scanned > 0,
+        "scanned no files under {}",
+        root.display()
+    );
+    assert!(
+        report.violations.is_empty(),
+        "contract-lint violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.allows.len() <= 10,
+        "escape-hatch budget exceeded: {} `lint: allow` annotations (max 10):\n{}",
+        report.allows.len(),
+        report
+            .allows
+            .iter()
+            .map(|a| format!(
+                "{}:{} allow({}) — {}",
+                a.file, a.line, a.rule, a.justification
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every escape hatch must carry a non-trivial justification.
+    for a in &report.allows {
+        assert!(
+            a.justification.len() >= 10,
+            "{}:{}: allow({}) justification too thin: {:?}",
+            a.file,
+            a.line,
+            a.rule,
+            a.justification
+        );
+    }
+}

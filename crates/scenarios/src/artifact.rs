@@ -30,6 +30,7 @@ use std::path::{Path, PathBuf};
 /// nothing" policy.
 #[must_use]
 pub fn results_dir() -> PathBuf {
+    // lint: allow(env-var) — FPK_RESULTS_DIR is a designated config accessor (DESIGN §3h); only the artifact path changes, never the bytes.
     let dir = std::env::var("FPK_RESULTS_DIR")
         .ok()
         .filter(|d| !d.is_empty())
@@ -38,6 +39,7 @@ pub fn results_dir() -> PathBuf {
         panic!(
             "cannot create results directory {} (FPK_RESULTS_DIR override {}): {e}",
             dir.display(),
+            // lint: allow(env-var) — re-read only to name the override in the panic message.
             if std::env::var_os("FPK_RESULTS_DIR").is_some() {
                 "active"
             } else {

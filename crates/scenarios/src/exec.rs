@@ -46,6 +46,7 @@ use std::sync::Arc;
 /// must fail loudly, not silently fall back to machine parallelism.
 #[must_use]
 pub fn thread_count() -> usize {
+    // lint: allow(env-var) — FPK_THREADS is a designated config accessor (DESIGN §3h); worker count never feeds simulation results.
     match std::env::var("FPK_THREADS") {
         Err(std::env::VarError::NotPresent) => default_parallelism(),
         Err(std::env::VarError::NotUnicode(raw)) => {
@@ -72,6 +73,7 @@ fn default_parallelism() -> usize {
 #[must_use]
 pub fn pool_enabled() -> bool {
     !matches!(
+        // lint: allow(env-var) — FPK_POOL is a designated config accessor (DESIGN §3h); pool routing is bit-identical either way.
         std::env::var("FPK_POOL").as_deref(),
         Ok("off" | "0" | "false")
     )

@@ -94,6 +94,7 @@ where
         let ctx = scratch.get_or_insert_with(&self.init);
         let mut out: Vec<T> = Vec::with_capacity(self.n_jobs / self.stripes + 1);
         let mut i = stripe;
+        // lint: hot-path arena(out)
         while i < self.n_jobs {
             // Catch per job so the failing index travels with the
             // payload and the worker survives to serve later batches.
@@ -106,6 +107,7 @@ where
             }
             i += self.stripes;
         }
+        // lint: end
         Ok(Box::new(out))
     }
 }

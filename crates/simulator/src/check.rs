@@ -1,0 +1,39 @@
+//! `FPK_CHECK` strict invariant mode (DESIGN §3h).
+//!
+//! With `FPK_CHECK=1` in the environment, the engine upgrades its
+//! scattered `debug_assert`s into a systematic invariant layer that
+//! also runs in release builds:
+//!
+//! * event-key monotonicity per pop ([`crate::event::EventQueue`]),
+//! * FIFO word-ring ↔ byte-ring length sync at every enqueue/dequeue,
+//! * flow-slot free-list disjointness (per recycle and globally),
+//! * `sent == delivered + dropped + in-flight` at the horizon,
+//! * the workload draw-count audit against the §3f draw-order
+//!   contract.
+//!
+//! The mode must be free when disabled: [`strict`] is read **once per
+//! run** into a local `bool`, and every per-event check branches on
+//! that local — a perfectly predicted branch, at parity with the
+//! `BENCH_baseline.json` medians. The env var is re-read on every
+//! call (no `OnceLock` caching) so tests can toggle it per run.
+
+/// True when strict invariant checking is enabled (`FPK_CHECK=1`,
+/// `true`, or `on`). Call once per run, never on the per-event path.
+#[must_use]
+pub fn strict() -> bool {
+    // lint: allow(env-var) — FPK_CHECK is the designated strict-mode accessor (DESIGN §3h); read once per run, outside the event loop.
+    std::env::var("FPK_CHECK").is_ok_and(|v| v == "1" || v == "true" || v == "on")
+}
+
+#[cfg(test)]
+mod tests {
+    // `strict()` itself is exercised end-to-end by `tests/strict_mode.rs`
+    // at the workspace root (single-test binary, so the env toggle
+    // cannot race other tests).
+    #[test]
+    fn default_is_off() {
+        if std::env::var_os("FPK_CHECK").is_none() {
+            assert!(!super::strict());
+        }
+    }
+}

@@ -217,6 +217,11 @@ pub struct EventQueue {
     lane_min: u128,
     /// Lane index of `lane_min` (meaningless when all vacant).
     lane_min_idx: usize,
+    /// `FPK_CHECK` strict mode: verify per-pop key monotonicity.
+    strict: bool,
+    /// Last key handed out by [`Self::pop`] (0 = none yet; packed keys
+    /// of finite times are always nonzero). Only read when `strict`.
+    last_popped: u128,
 }
 
 impl Default for EventQueue {
@@ -229,6 +234,8 @@ impl Default for EventQueue {
             lane_kinds: Vec::new(),
             lane_min: LANE_EMPTY,
             lane_min_idx: 0,
+            strict: false,
+            last_popped: 0,
         }
     }
 }
@@ -251,6 +258,45 @@ impl EventQueue {
         self.lane_kinds.clear();
         self.lane_min = LANE_EMPTY;
         self.lane_min_idx = 0;
+        self.last_popped = 0;
+    }
+
+    /// Enable `FPK_CHECK` strict mode: every [`Self::pop`] asserts the
+    /// packed `(t, seq)` key strictly exceeds the previous pop's (keys
+    /// are unique, so monotone non-strict would already be a bug).
+    /// Resets the monotonicity watermark so a queue can be re-armed
+    /// across runs.
+    pub fn set_strict(&mut self, on: bool) {
+        self.strict = on;
+        self.last_popped = 0;
+    }
+
+    /// `FPK_CHECK`: verify the heap property over the whole key array
+    /// and the cached lane minimum. O(n); called at sample points and
+    /// at the horizon, never per event.
+    ///
+    /// # Panics
+    /// When a parent key exceeds a child key or the cached lane min
+    /// disagrees with a rescan.
+    pub fn assert_valid(&self) {
+        for (i, &k) in self.keys.iter().enumerate().skip(1) {
+            let parent = (i - 1) / D;
+            assert!(
+                self.keys[parent] <= k,
+                "FPK_CHECK: heap property violated at index {i} (parent {parent})"
+            );
+        }
+        let min = self.lane_keys.iter().fold(LANE_EMPTY, |m, &k| m.min(k));
+        assert_eq!(
+            min, self.lane_min,
+            "FPK_CHECK: cached lane minimum is stale"
+        );
+        if min != LANE_EMPTY {
+            assert_eq!(
+                self.lane_keys[self.lane_min_idx], min,
+                "FPK_CHECK: cached lane-minimum index points at the wrong lane"
+            );
+        }
     }
 
     /// Create `n` vacant side lanes (dropping any pending lane events).
@@ -293,6 +339,7 @@ impl EventQueue {
     ///
     /// Event times must be finite; this is checked in debug builds only
     /// (the engine constructs every time as `now + positive offset`).
+    // lint: hot-path arena(keys, kinds)
     #[inline]
     pub fn push(&mut self, t: f64, kind: EventKind) {
         debug_assert!(t.is_finite(), "event time must be finite, got {t}");
@@ -315,6 +362,7 @@ impl EventQueue {
         self.keys[hole] = key;
         self.kinds[hole] = kind;
     }
+    // lint: end
 
     /// Schedule the periodic statistics sample at time `t` on lane 0
     /// (creating the lane if the caller never sized the lane set).
@@ -335,13 +383,21 @@ impl EventQueue {
         // same winner the one-heap ordering would.
         let lane_min = self.lane_min;
         let heap_min = self.keys.first().copied().unwrap_or(LANE_EMPTY);
-        if lane_min < heap_min {
-            self.pop_lane()
+        let (key, ev) = if lane_min < heap_min {
+            (lane_min, self.pop_lane())
         } else if heap_min != LANE_EMPTY {
-            self.pop_heap()
+            (heap_min, self.pop_heap())
         } else {
-            None
+            return None;
+        };
+        if self.strict {
+            assert!(
+                key > self.last_popped,
+                "FPK_CHECK: popped event key did not advance (keys are unique and must be strictly increasing)"
+            );
+            self.last_popped = key;
         }
+        ev
     }
 
     /// Pop the cached lane minimum and rescan the (tiny) lane set.
@@ -368,6 +424,7 @@ impl EventQueue {
     }
 
     /// Pop the heap minimum (ignores the merged sample channel).
+    // lint: hot-path arena(keys, kinds)
     fn pop_heap(&mut self) -> Option<Event> {
         let n = self.keys.len();
         if n == 0 {
@@ -426,6 +483,7 @@ impl EventQueue {
             kind: top_kind,
         })
     }
+    // lint: end
 
     /// Number of pending events (including a pending merged sample).
     #[must_use]

@@ -30,7 +30,8 @@ use crate::qdisc::{
 };
 use crate::source::{rate_update, window_on_ack, SourceSpec, SourceState};
 use crate::workload::{
-    ideal_fct_sized, sample_cumulative, DistSummary, PacketBytes, Workload, WorkloadStats,
+    ideal_fct_sized, sample_cumulative, DistSummary, FlowSizeDist, PacketBytes, Workload,
+    WorkloadStats,
 };
 use fpk_numerics::{NumericsError, Result};
 use rand::rngs::StdRng;
@@ -730,6 +731,10 @@ fn run_core<Q: QDisc, const BYTES: bool>(
     let k = config.topology.len();
     let n_flows = flows.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // FPK_CHECK strict invariant mode (DESIGN §3h): one env read per
+    // run, hoisted to a local so every per-event check is a perfectly
+    // predicted branch on a register — free when off.
+    let strict = crate::check::strict();
 
     // Sample schedule: t_k = k·sample_interval for every k with
     // k·Δ ≤ t_end, computed as fresh multiples (no `t += Δ` drift); see
@@ -840,6 +845,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
     // FlowArrival schedules its successor), so it rides a lane too.
     let lane_arrival = alloc_lane(workload.is_some());
     ev.set_lane_count(lane_count);
+    ev.set_strict(strict);
 
     // Byte-granular packet sizing: each packet draws its size factor
     // at its creation site (exactly one f64 draw, none for a
@@ -849,7 +855,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
     let draw_size = |rng: &mut StdRng| -> f32 {
         if BYTES {
             let pb = pb.expect("byte-mode instantiation without packet_bytes");
-            (pb.dist.sample(rng) as f64 / pb.ref_bytes.get()) as f32
+            (pb.dist.sample(rng) as f64 / pb.ref_bytes.get()) as f32 // draw: pkt.size_factor — per-packet byte-size factor (byte mode only)
         } else {
             1.0
         }
@@ -861,6 +867,13 @@ fn run_core<Q: QDisc, const BYTES: bool>(
     } else {
         1.0
     };
+
+    // Strict-mode draw-count audit (DESIGN §3h): tally the workload
+    // draws the engine performs so the horizon check can compare them
+    // against what the §3f draw-order contract says must have happened.
+    let mut chk_size_draws: u64 = 0;
+    let mut chk_route_draws: u64 = 0;
+    let mut chk_gap_draws: u64 = 0;
 
     // Bootstrap events (flow order; identical schedule to the legacy
     // engines so the shims stay bit-identical).
@@ -887,7 +900,9 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 match &mut states[i] {
                     SourceState::Window { in_flight, .. }
                     | SourceState::Decbit { in_flight, .. } => *in_flight = burst,
-                    SourceState::Rate { .. } | SourceState::OnOff { .. } => unreachable!(),
+                    SourceState::Rate { .. } | SourceState::OnOff { .. } => {
+                        unreachable!("state enum mismatches source spec for window flow")
+                    }
                 }
                 for b in 0..burst {
                     ev.push(
@@ -896,7 +911,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             flow: i,
                             hop: f.route.first,
                             marked: false,
-                            size: draw_size(&mut rng),
+                            size: draw_size(&mut rng), // draw: window.bootstrap.pkt — size factor per initial-burst packet
                         },
                     );
                 }
@@ -925,7 +940,10 @@ fn run_core<Q: QDisc, const BYTES: bool>(
     });
     if let Some(w) = workload {
         if w.max_flows != Some(0) {
-            let gap = w.arrivals.sample_interarrival(&mut rng);
+            let gap = w.arrivals.sample_interarrival(&mut rng); // draw: wl.bootstrap.gap — first interarrival gap after t = 0
+            if strict {
+                chk_gap_draws += 1;
+            }
             ev.schedule_lane(lane_arrival, gap, EventKind::FlowArrival);
         }
     }
@@ -944,7 +962,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
 
     let service_time = |rng: &mut StdRng, h: &HopHot| -> f64 {
         if h.expo {
-            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: hop.service — exponential service uniform (expo hops only)
             -u.ln() / h.mu
         } else {
             h.det_service
@@ -957,6 +975,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
 
     let warmup = config.warmup;
     let t_end = config.t_end;
+    // lint: hot-path arena(ev, fifos, fifo_bytes, trace_t, trace_q, trace_ctl, fcts, slowdowns, dyn_flows, dyn_free, flow_hot)
     while let Some(event) = ev.pop() {
         let t = event.t;
         if t > t_end {
@@ -982,11 +1001,11 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             flow,
                             hop: flow_hot[flow].route.first,
                             marked: false,
-                            size: draw_size(&mut rng),
+                            size: draw_size(&mut rng), // draw: rate.pkt — size factor per rate-source packet
                         },
                     );
                     let gap = if *poisson {
-                        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: rate.gap — Poisson interpacket gap uniform
                         -u.ln() / lam
                     } else {
                         1.0 / lam
@@ -1016,10 +1035,10 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             flow,
                             hop: flow_hot[flow].route.first,
                             marked: false,
-                            size: draw_size(&mut rng),
+                            size: draw_size(&mut rng), // draw: onoff.pkt — size factor per on-off packet
                         },
                     );
-                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: onoff.gap — ON-phase interpacket gap uniform
                     ev.schedule_lane(
                         lane_send[flow],
                         t - u.ln() / peak_rate.max(1e-9),
@@ -1036,7 +1055,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                     unreachable!("Toggle for non-on-off flow")
                 };
                 let SourceState::OnOff { on, chain_alive } = &mut states[flow] else {
-                    unreachable!()
+                    unreachable!("Toggle for a flow without on-off state")
                 };
                 // Exponential sojourn in the phase we are *entering*; the
                 // bootstrap toggle at t = 0 enters the ON phase.
@@ -1051,16 +1070,16 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                     // starts — emitting at the toggle instant itself
                     // would bias the mean rate upward.
                     let SourceSpec::OnOff { peak_rate, .. } = &flows[flow].source else {
-                        unreachable!()
+                        unreachable!("on-off state paired with non-on-off spec")
                     };
-                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: onoff.first_send — first-send gap after toggle-to-ON
                     ev.schedule_lane(
                         lane_send[flow],
                         t - u.ln() / peak_rate.max(1e-9),
                         EventKind::SendPacket { flow },
                     );
                 }
-                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: onoff.sojourn — next phase-sojourn uniform
                 ev.push(
                     t - u.ln() * sojourn_mean.max(1e-9),
                     EventKind::Toggle { flow },
@@ -1075,6 +1094,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 let fh = flow_hot[flow];
                 let hh = hop_hot[hop];
                 // Random link loss (per-hop fault injection).
+                // draw: hop.loss — per-hop loss uniform (faulty hops only)
                 if hh.loss_prob > 0.0 && rng.gen::<f64>() < hh.loss_prob {
                     if flow < n_static {
                         if t >= warmup {
@@ -1135,7 +1155,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             hs.q_len,
                             fh.decbit,
                             fh.q_hat,
-                            &mut rng,
+                            &mut rng, // draw: mark.pure — mark hook may draw (RED gentle mode); pure hooks draw nothing
                         )
                 } else {
                     let hop_mark = Q::mark(
@@ -1146,7 +1166,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                         hs.q_len,
                         fh.decbit,
                         fh.q_hat,
-                        &mut rng,
+                        &mut rng, // draw: mark.stateful — stateful mark hook (RED) draws its drop uniform here
                     );
                     marked || hop_mark
                 };
@@ -1161,6 +1181,13 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                     fifo_bytes[hop].push_back(size);
                 }
                 hs.q_len += 1;
+                if strict && BYTES {
+                    assert_eq!(
+                        fifos[hop].len(),
+                        fifo_bytes[hop].len(),
+                        "FPK_CHECK: hop {hop} word ring and byte ring desynced after enqueue at t = {t}"
+                    );
+                }
                 if Q::needs_observe(any_decbit) {
                     let q = hs.q_len;
                     Q::observe(&mut qdisc_state[hop], t, q as f64);
@@ -1168,7 +1195,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 let hs = &mut hops[hop];
                 if !hs.busy {
                     hs.busy = true;
-                    let mut svc = service_time(&mut rng, &hh);
+                    let mut svc = service_time(&mut rng, &hh); // draw: arrival.service — service for the packet entering an idle hop
                     if BYTES {
                         // The hop was idle, so the arriving packet is
                         // the one entering service.
@@ -1187,6 +1214,13 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 } else {
                     1.0f32
                 };
+                if strict && BYTES {
+                    assert_eq!(
+                        fifos[hop].len(),
+                        fifo_bytes[hop].len(),
+                        "FPK_CHECK: hop {hop} word ring and byte ring desynced after dequeue at t = {t}"
+                    );
+                }
                 let fh = flow_hot[flow];
                 let exits = hop == fh.route.last;
                 let hs = &mut hops[hop];
@@ -1234,7 +1268,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                     );
                 }
                 if q_now > 0 {
-                    let mut svc = service_time(&mut rng, &hop_hot[hop]);
+                    let mut svc = service_time(&mut rng, &hop_hot[hop]); // draw: departure.service — service for the next head-of-line packet
                     if BYTES {
                         // The new head of line sets the next service.
                         svc *= f64::from(
@@ -1281,10 +1315,10 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                     ..
                 } = &flows[flow].source
                 else {
-                    unreachable!()
+                    unreachable!("Feedback for non-rate flow")
                 };
                 let SourceState::Rate { lambda } = &mut states[flow] else {
-                    unreachable!()
+                    unreachable!("rate spec paired with non-rate state")
                 };
                 *lambda = rate_update(law, *lambda, observed_queue as f64, *update_interval);
             }
@@ -1296,7 +1330,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             window, in_flight, ..
                         } = state
                         else {
-                            unreachable!()
+                            unreachable!("window spec paired with non-window state")
                         };
                         (window.floor().max(1.0) as u64, in_flight)
                     }
@@ -1319,7 +1353,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             flow,
                             hop: flow_hot[flow].route.first,
                             marked: false,
-                            size: draw_size(&mut rng),
+                            size: draw_size(&mut rng), // draw: ack.pkt — size factor per ack-clocked window packet
                         },
                     );
                     to_send -= 1;
@@ -1329,9 +1363,15 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 let w = workload.expect("FlowArrival without a workload");
                 // Draw order is the §3f contract: size, route, next gap
                 // (one f64 each; deterministic sizes draw nothing).
-                let size = w.sizes.sample(&mut rng);
-                let u: f64 = rng.gen::<f64>();
+                let size = w.sizes.sample(&mut rng); // draw: wl.flow.size — flow size in packets (deterministic dists draw nothing)
+                let u: f64 = rng.gen::<f64>(); // draw: wl.flow.route — route-choice uniform
                 let route = w.routes[sample_cumulative(&route_cum, u)];
+                if strict {
+                    chk_route_draws += 1;
+                    if !matches!(w.sizes, FlowSizeDist::Deterministic { .. }) {
+                        chk_size_draws += 1;
+                    }
+                }
                 // Finite flows are open-loop: no acks, no marking
                 // reaction (q_hat = ∞ never self-marks).
                 let fh = FlowHot {
@@ -1388,12 +1428,15 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             flow,
                             hop: route.first,
                             marked: false,
-                            size: draw_size(&mut rng),
+                            size: draw_size(&mut rng), // draw: wl.flow.pkt — size factor per workload-burst packet
                         },
                     );
                 }
                 if w.max_flows.is_none_or(|m| wlc.arrived < m) {
-                    let gap = w.arrivals.sample_interarrival(&mut rng);
+                    let gap = w.arrivals.sample_interarrival(&mut rng); // draw: wl.flow.gap — next interarrival gap
+                    if strict {
+                        chk_gap_draws += 1;
+                    }
                     ev.schedule_lane(lane_arrival, t + gap, EventKind::FlowArrival);
                 }
             }
@@ -1418,6 +1461,17 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 // definition unaccounted), so reuse is safe. Slot
                 // numbering never feeds times or RNG, so recycling
                 // on/off only moves `slot_high_water`.
+                if strict {
+                    assert!(
+                        !dyn_free.contains(&(slot as u32)),
+                        "FPK_CHECK: flow slot {slot} completed while already on the free list"
+                    );
+                    assert_eq!(
+                        d.accounted, d.size,
+                        "FPK_CHECK: flow slot {slot} completed with {} of {} packets accounted",
+                        d.accounted, d.size
+                    );
+                }
                 if w.recycle_slots {
                     dyn_free.push(slot as u32);
                 }
@@ -1433,6 +1487,11 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                     SourceState::Decbit { ctl, .. } => ctl.window(),
                     SourceState::OnOff { on, .. } => f64::from(u8::from(*on)),
                 }));
+                if strict {
+                    // Periodic structural audit: the sample clock is the
+                    // one low-rate event stream that is always present.
+                    ev.assert_valid();
+                }
                 next_sample_index += 1;
                 if next_sample_index <= last_sample_index {
                     // The multiple can round a hair past t_end; clamp so
@@ -1441,6 +1500,65 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                     ev.schedule_sample(tk);
                 }
             }
+        }
+    }
+    // lint: end
+
+    // FPK_CHECK horizon invariants (DESIGN §3h). Runs once, after the
+    // loop — allocation here is off the packet path.
+    if strict {
+        ev.assert_valid();
+        if let Some(w) = workload {
+            // Free-list disjointness and bounds, globally.
+            let mut freed = vec![false; dyn_flows.len()];
+            for &s in &dyn_free {
+                let s = s as usize;
+                assert!(
+                    s < dyn_flows.len(),
+                    "FPK_CHECK: free list holds slot {s} beyond the {} allocated",
+                    dyn_flows.len()
+                );
+                assert!(
+                    !freed[s],
+                    "FPK_CHECK: flow slot {s} appears twice on the free list"
+                );
+                freed[s] = true;
+            }
+            // Packet conservation at the horizon: every packet a
+            // workload flow sent was delivered, dropped, or is still in
+            // flight (unaccounted in its slot).
+            let in_flight: u64 = dyn_flows.iter().map(|d| d.size - d.accounted).sum();
+            assert_eq!(
+                wlc.packets_sent,
+                wlc.packets_delivered + wlc.packets_dropped + in_flight,
+                "FPK_CHECK: workload packet conservation failed at t_end \
+                 (sent {} != delivered {} + dropped {} + in-flight {in_flight})",
+                wlc.packets_sent,
+                wlc.packets_delivered,
+                wlc.packets_dropped
+            );
+            // Draw-count audit against the §3f contract: one route and
+            // one size draw per arrival (none for deterministic sizes),
+            // and one gap per arrival — plus the bootstrap gap, minus
+            // the final gap a `max_flows` cap suppresses.
+            assert_eq!(
+                chk_route_draws, wlc.arrived,
+                "FPK_CHECK: route draws diverged from flow arrivals"
+            );
+            let expect_size = if matches!(w.sizes, FlowSizeDist::Deterministic { .. }) {
+                0
+            } else {
+                wlc.arrived
+            };
+            assert_eq!(
+                chk_size_draws, expect_size,
+                "FPK_CHECK: size draws diverged from the §3f contract"
+            );
+            assert!(
+                chk_gap_draws == wlc.arrived || chk_gap_draws == wlc.arrived + 1,
+                "FPK_CHECK: gap draws ({chk_gap_draws}) must be arrivals ({}) or arrivals + 1",
+                wlc.arrived
+            );
         }
     }
 

@@ -65,7 +65,7 @@ impl ArrivalProcess {
 
     /// Draw one interarrival gap (seconds). Exactly one `f64` draw.
     pub fn sample_interarrival<R: Rng>(&self, rng: &mut R) -> f64 {
-        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: arrival.gap_u — shared interarrival uniform (Poisson and Pareto)
         match self {
             Self::Poisson { rate } => -u.ln() / rate,
             Self::Pareto { rate, alpha } => {
@@ -144,12 +144,12 @@ impl FlowSizeDist {
         match self {
             Self::Deterministic { packets } => (*packets).max(1),
             Self::Exponential { mean } => {
-                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: size.exp_u — exponential flow-size uniform
                 (-u.ln() * mean).round().max(1.0) as u64
             }
             Self::BoundedPareto { min, max, alpha } => {
-                let u: f64 = rng.gen::<f64>().min(1.0 - f64::EPSILON);
-                // Inverse CDF of the bounded Pareto.
+                let u: f64 = rng.gen::<f64>().min(1.0 - f64::EPSILON); // draw: size.pareto_u — bounded-Pareto flow-size uniform
+                                                                       // Inverse CDF of the bounded Pareto.
                 let ratio = (min / max).powf(*alpha);
                 let x = min / (1.0 - u * (1.0 - ratio)).powf(1.0 / alpha);
                 x.round().clamp(1.0, max.round()) as u64

@@ -1,0 +1,134 @@
+//! `FPK_CHECK=1` strict invariant mode (DESIGN §3h) is
+//! observation-only: the same configs must produce bit-identical
+//! results with the invariant layer on and off.
+//!
+//! One `#[test]` on purpose: the test binary toggles the process
+//! environment, so splitting it into several tests would race the env
+//! var across the default multi-threaded test runner.
+
+use fpk_repro::congestion::decbit::DecbitPolicy;
+use fpk_repro::congestion::{LinearExp, WindowAimd};
+use fpk_repro::sim::{
+    run_network, run_network_workload, ArrivalProcess, Bytes, FaultConfig, FlowSizeDist, FlowSpec,
+    Link, NetConfig, PacketBytes, QdiscKind, Route, Service, SourceSpec, Topology, TraceMode,
+    Workload,
+};
+
+fn base_net(t_end: f64, seed: u64) -> NetConfig {
+    NetConfig {
+        topology: Topology {
+            links: vec![
+                Link {
+                    mu: 40.0,
+                    service: Service::Exponential,
+                    buffer: Some(25),
+                },
+                Link {
+                    mu: 50.0,
+                    service: Service::Deterministic,
+                    buffer: None,
+                },
+            ],
+        },
+        faults: vec![
+            FaultConfig { loss_prob: 0.02 },
+            FaultConfig { loss_prob: 0.0 },
+        ],
+        t_end,
+        warmup: 1.0,
+        sample_interval: 0.1,
+        seed,
+        trace: TraceMode::Summary,
+        qdisc: QdiscKind::RedMark {
+            min_th: 2.5,
+            max_th: 10.0,
+            max_p: 1.0,
+            weight: 0.25,
+        },
+        packet_bytes: Some(PacketBytes {
+            dist: FlowSizeDist::BoundedPareto {
+                min: 200.0,
+                max: 1500.0,
+                alpha: 1.3,
+            },
+            ref_bytes: Bytes(500.0),
+        }),
+    }
+}
+
+fn mixed_flows() -> Vec<FlowSpec> {
+    [
+        SourceSpec::Rate {
+            law: LinearExp::new(4.0, 0.5, 12.0),
+            lambda0: 5.0,
+            update_interval: 0.1,
+            prop_delay: 0.01,
+            poisson: true,
+        },
+        SourceSpec::Window {
+            aimd: WindowAimd::new(1.0, 0.5, 0.05, 10.0),
+            w0: 2.0,
+        },
+        SourceSpec::OnOff {
+            peak_rate: 20.0,
+            mean_on: 0.3,
+            mean_off: 0.7,
+            prop_delay: 0.01,
+        },
+        SourceSpec::Decbit {
+            policy: DecbitPolicy::raja88(),
+            rtt: 0.05,
+            w0: 2.0,
+            q_hat: 1.0,
+        },
+    ]
+    .into_iter()
+    .map(|source| FlowSpec {
+        source,
+        route: Route { first: 0, last: 1 },
+    })
+    .collect()
+}
+
+fn workload() -> Workload {
+    Workload::new(
+        ArrivalProcess::Pareto {
+            rate: 6.0,
+            alpha: 1.5,
+        },
+        FlowSizeDist::Exponential { mean: 4.0 },
+        vec![Route::single(0), Route { first: 0, last: 1 }],
+    )
+    .with_prop_delay(0.005)
+}
+
+/// Serialize every observable output so the on/off comparison is a
+/// single string equality with a readable diff on failure.
+fn run_both(strict: bool) -> (String, String) {
+    assert_eq!(
+        std::env::var("FPK_CHECK").is_ok(),
+        strict,
+        "env toggle out of sync"
+    );
+    let static_run = run_network(&base_net(12.0, 424_242), &mixed_flows()).expect("static run");
+    let wl_run = run_network_workload(&base_net(12.0, 77), &mixed_flows(), &workload())
+        .expect("workload run");
+    (format!("{static_run:?}"), format!("{wl_run:?}"))
+}
+
+#[test]
+fn strict_mode_is_observation_only() {
+    // The harness may inherit FPK_CHECK from CI's strict job; normalize.
+    std::env::remove_var("FPK_CHECK");
+    let (plain_static, plain_wl) = run_both(false);
+
+    std::env::set_var("FPK_CHECK", "1");
+    let (strict_static, strict_wl) = run_both(true);
+    std::env::remove_var("FPK_CHECK");
+
+    assert_eq!(
+        plain_static, strict_static,
+        "strict mode changed a static-flow run"
+    );
+    assert_eq!(plain_wl, strict_wl, "strict mode changed a workload run");
+}
