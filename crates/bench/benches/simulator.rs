@@ -5,8 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpk_congestion::{LinearExp, WindowAimd};
 use fpk_sim::{
-    run, run_network, run_network_workload, ArrivalProcess, FlowSizeDist, FlowSpec, Link,
-    NetConfig, QdiscKind, Route, Service, SimConfig, SourceSpec, Topology, TraceMode, Workload,
+    run, run_network, run_network_workload, ArrivalProcess, FaultConfig, FlowSizeDist, FlowSpec,
+    Link, NetConfig, QdiscKind, Route, Service, SimConfig, SourceSpec, Topology, TraceMode,
+    Workload,
 };
 use std::hint::black_box;
 
@@ -196,10 +197,75 @@ fn bench_network_qdisc(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_network_faults(c: &mut Criterion) {
+    // Fault-model overhead at the by_hops/4 shape: the Iid row must sit
+    // within noise of sim_network_by_hops/4 (static loss reads one
+    // cached probability per arrival, exactly the historical fast
+    // path), while the GE and LinkFlap rows price the per-transition
+    // side-lane events — a handful per simulated second, so the rows
+    // should stay near parity rather than scale with packet count.
+    let mut group = c.benchmark_group("sim_network_faults");
+    let k = 4usize;
+    for (label, fault) in [
+        ("Iid", FaultConfig::Iid { loss_prob: 0.02 }),
+        (
+            "GilbertElliott",
+            FaultConfig::GilbertElliott {
+                p_gb: 0.5,
+                p_bg: 2.0,
+                loss_good: 0.0,
+                loss_bad: 0.10,
+            },
+        ),
+        (
+            "LinkFlap",
+            FaultConfig::LinkFlap {
+                up_rate: 2.0,
+                down_rate: 0.2,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &fault, |b, &fault| {
+            let window = |route: Route| FlowSpec {
+                source: SourceSpec::Window {
+                    aimd: WindowAimd::new(1.0, 0.5, 0.05, 10.0),
+                    w0: 2.0,
+                },
+                route,
+            };
+            let mut flows = vec![window(Route::full(k))];
+            for hop in 0..k {
+                flows.push(window(Route::single(hop)));
+            }
+            let net = NetConfig {
+                topology: Topology::uniform(
+                    k,
+                    Link {
+                        mu: 100.0,
+                        service: Service::Exponential,
+                        buffer: None,
+                    },
+                ),
+                faults: vec![fault; k],
+                t_end: 20.0,
+                warmup: 2.0,
+                sample_interval: 0.5,
+                seed: 4,
+                trace: TraceMode::Full,
+                qdisc: QdiscKind::Fifo,
+                packet_bytes: None,
+            };
+            b.iter(|| run_network(black_box(&net), black_box(&flows)).expect("sim"));
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_rate_flows, bench_window_flows, bench_service_disciplines,
-        bench_network_by_hops, bench_finite_flows, bench_network_qdisc
+        bench_network_by_hops, bench_finite_flows, bench_network_qdisc,
+        bench_network_faults
 }
 criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! Figure (extension): graceful degradation under dynamic faults —
+//! what source retransmission buys back when the path turns hostile.
+//!
+//! A single deterministic bottleneck (μ = 100 pkt/s) carries an open-
+//! loop population of 4-packet flows at ρ = 0.6. Three fault arms:
+//!
+//! * **lossless** — no faults, the goodput yardstick;
+//! * **GE burst** — severe Gilbert–Elliott loss (good↔bad at 1/1 Hz,
+//!   0%/70% loss, 35% long-run average) set via `with_hop_faults`;
+//! * **link flap** — full outages (down 0.1 Hz, up 0.5 Hz, ≈ 17%
+//!   downtime) exercising the downtime/recovery metrics.
+//!
+//! Each faulty arm sweeps `Axis::rto_policy` over retry budgets
+//! {0, 2, 6} (RTO 50 ms, ×2 backoff). Goodput counts first-copy
+//! deliveries only, so retransmission has to *earn* its overhead.
+//!
+//! Headline assertions: the GE burst costs the no-retry arm ≥ 30% of
+//! lossless goodput, and a 6-retry budget restores ≥ 90% of it; under
+//! a retry policy every terminal loss is `gave_up` (drops stay 0);
+//! `downtime_frac` is positive only on the flap arm. Five seeded
+//! replications per cell report mean ± 95% CI, and the sweep runner's
+//! bit-identity policy (DESIGN §3e) makes the JSON artefact identical
+//! across `FPK_THREADS` settings — CI diffs 1 vs 3.
+
+use fpk_bench::{fmt, print_table, write_json};
+use fpk_scenarios::{run_sweep, Axis, Scenario, Sweep};
+use fpk_sim::{ArrivalProcess, FaultConfig, FlowSizeDist, Route, Service, SimConfig, Workload};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    arm: String,
+    retries: u32,
+    goodput: f64,
+    goodput_ci95: f64,
+    retx_overhead: f64,
+    packets_gave_up: f64,
+    packets_dropped: f64,
+    downtime_frac: f64,
+    recovery_time: f64,
+    replications: usize,
+}
+
+const MU: f64 = 100.0;
+const FLOW_PKTS: u64 = 4;
+const RHO: f64 = 0.6;
+const PROP_DELAY: f64 = 0.005;
+const REPLICATIONS: usize = 5;
+const BASE_SEED: u64 = 86420;
+
+fn scenario(name: &str, faults: Option<FaultConfig>) -> Scenario {
+    let sc = Scenario::new(
+        name,
+        SimConfig {
+            mu: MU,
+            service: Service::Deterministic,
+            buffer: None,
+            t_end: 150.0,
+            warmup: 30.0,
+            sample_interval: 0.5,
+            seed: 0,
+        },
+        Vec::new(),
+    )
+    .with_workload(
+        Workload::new(
+            ArrivalProcess::Poisson {
+                rate: RHO * MU / FLOW_PKTS as f64,
+            },
+            FlowSizeDist::Deterministic { packets: FLOW_PKTS },
+            vec![Route::single(0)],
+        )
+        .with_prop_delay(PROP_DELAY),
+    );
+    match faults {
+        Some(f) => sc.with_hop_faults(vec![f]),
+        None => sc,
+    }
+}
+
+fn run_arm(arm: &str, faults: Option<FaultConfig>, retries: Vec<f64>) -> Vec<Row> {
+    let sweep =
+        Sweep::new(scenario(arm, faults), BASE_SEED).axis(Axis::rto_policy(retries.clone()));
+    let report = run_sweep(&sweep, REPLICATIONS).expect("fault sweep");
+    report
+        .cells
+        .iter()
+        .map(|cell| {
+            let wl = cell
+                .stats
+                .workload
+                .as_ref()
+                .expect("workload cells carry goodput stats");
+            Row {
+                arm: arm.to_string(),
+                retries: cell.coords[0].round() as u32,
+                goodput: wl.goodput.mean,
+                goodput_ci95: wl.goodput.ci95,
+                retx_overhead: wl.retx_overhead.mean,
+                packets_gave_up: wl.packets_gave_up.mean,
+                packets_dropped: wl.packets_dropped.mean,
+                downtime_frac: cell.stats.downtime_frac.mean,
+                recovery_time: cell.stats.recovery_time.mean,
+                replications: cell.stats.replications,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    // 35% long-run loss concentrated in 1-second bursts.
+    let ge = FaultConfig::GilbertElliott {
+        p_gb: 1.0,
+        p_bg: 1.0,
+        loss_good: 0.0,
+        loss_bad: 0.70,
+    };
+    // ≈ 17% downtime in ~10 s outages.
+    let flap = FaultConfig::LinkFlap {
+        up_rate: 0.5,
+        down_rate: 0.1,
+    };
+
+    let mut rows = run_arm("lossless", None, vec![0.0]);
+    rows.extend(run_arm("ge_burst", Some(ge), vec![0.0, 2.0, 6.0]));
+    rows.extend(run_arm("link_flap", Some(flap), vec![0.0, 6.0]));
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.arm.clone(),
+                r.retries.to_string(),
+                format!("{} ± {}", fmt(r.goodput, 2), fmt(r.goodput_ci95, 2)),
+                fmt(r.retx_overhead, 3),
+                fmt(r.packets_gave_up, 1),
+                fmt(r.packets_dropped, 1),
+                fmt(r.downtime_frac, 3),
+                fmt(r.recovery_time, 3),
+            ]
+        })
+        .collect();
+    print_table(
+        "goodput (pkt/s) under dynamic faults, by retransmission budget",
+        &[
+            "fault arm",
+            "retries",
+            "goodput",
+            "retx overhead",
+            "gave up",
+            "dropped",
+            "downtime frac",
+            "recovery (s)",
+        ],
+        &table,
+    );
+    println!("\nReading: bursty Gilbert–Elliott loss removes over a third of the");
+    println!("no-retry arm's goodput — every lost packet is simply gone. A");
+    println!("bounded RTO policy (50 ms base, ×2 backoff) converts those losses");
+    println!("into delayed deliveries: 6 retries drive the residual abandonment");
+    println!("rate to ~0.35^7 and buy back nearly all the lossless goodput, at");
+    println!("a retransmission overhead close to the raw loss rate. Link flaps");
+    println!("park the queue instead of dropping, so even the no-retry arm");
+    println!("keeps its packets; the downtime and recovery columns show the");
+    println!("outage share and how long the queue takes to drain back to its");
+    println!("pre-fault band. Means are over {REPLICATIONS} seeds per cell.");
+
+    let find = |arm: &str, retries: u32| {
+        rows.iter()
+            .find(|r| r.arm == arm && r.retries == retries)
+            .expect("grid covers every (arm, retries) pair")
+    };
+    let lossless = find("lossless", 0).goodput;
+    let ge_bare = find("ge_burst", 0).goodput;
+    let ge_rto = find("ge_burst", 6).goodput;
+    assert!(
+        ge_bare <= 0.70 * lossless,
+        "GE burst must cost the no-retry arm >= 30% of lossless goodput: {ge_bare} vs {lossless}"
+    );
+    assert!(
+        ge_rto >= 0.90 * lossless,
+        "6 retries must restore >= 90% of lossless goodput: {ge_rto} vs {lossless}"
+    );
+    for r in &rows {
+        if r.retries > 0 {
+            assert!(
+                r.packets_dropped == 0.0,
+                "{}: under a retry policy terminal losses are gave_up, not dropped",
+                r.arm
+            );
+        }
+        assert!(
+            (r.arm == "link_flap") == (r.downtime_frac > 0.0),
+            "{}: downtime must be positive iff the link flaps",
+            r.arm
+        );
+    }
+    assert!(
+        find("ge_burst", 6).retx_overhead > find("ge_burst", 2).retx_overhead * 0.99,
+        "a larger retry budget cannot retransmit less"
+    );
+    write_json("fig_fault_recovery", &rows);
+}

@@ -21,6 +21,7 @@
 //! | `tbl7_ablation_grid`    | ablation | grid/Δt refinement convergence |
 //! | `fig_fct_vs_load`       | extension | finite-flow FCT/slowdown vs offered load; deterministic-size rows pinned to Pollaczek–Khinchine (DESIGN §3f) |
 //! | `fig_marking_compare`   | extension | queue disciplines (FIFO/threshold/DECbit-averaged/RED) vs probe p99 FCT behind lax elephants (DESIGN §3g) |
+//! | `fig_fault_recovery`    | extension | goodput under GE bursts / link flaps vs RTO retry budget; 6 retries restore ≥ 90% of lossless goodput where no-retry loses ≥ 30% (DESIGN §3i) |
 //!
 //! Every binary prints a human-readable table to stdout **and** writes a
 //! JSON artefact to `results/` so `EXPERIMENTS.md` can be regenerated

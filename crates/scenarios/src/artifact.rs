@@ -165,6 +165,20 @@ fn stat_from(v: &Value, path: &Path) -> Stat {
     }
 }
 
+/// Like [`stat_from`] but tolerating absence: checkpoint shards written
+/// before a field existed load as an empty (all-zero) [`Stat`].
+fn stat_or_zero(v: &Value, key: &str, path: &Path) -> Stat {
+    match v.get(key) {
+        None | Some(Value::Null) => Stat {
+            mean: 0.0,
+            std_dev: 0.0,
+            ci95: 0.0,
+            n: 0,
+        },
+        Some(s) => stat_from(s, path),
+    }
+}
+
 fn stats_from(v: &Value, path: &Path) -> EnsembleStats {
     EnsembleStats {
         replications: get_usize(v, "replications", path),
@@ -191,6 +205,9 @@ fn stats_from(v: &Value, path: &Path) -> EnsembleStats {
             None | Some(Value::Null) => None,
             Some(w) => Some(workload_ensemble_from(w, path)),
         },
+        // Absent in pre-fault checkpoint files: default to zero stats.
+        downtime_frac: stat_or_zero(v, "downtime_frac", path),
+        recovery_time: stat_or_zero(v, "recovery_time", path),
     }
 }
 
@@ -205,6 +222,12 @@ fn workload_ensemble_from(v: &Value, path: &Path) -> WorkloadEnsemble {
         slowdown_mean: stat("slowdown_mean"),
         slowdown_p99: stat("slowdown_p99"),
         peak_active: stat("peak_active"),
+        // Absent in pre-RTO checkpoint files: default to zero stats.
+        packets_dropped: stat_or_zero(v, "packets_dropped", path),
+        goodput: stat_or_zero(v, "goodput", path),
+        retx_overhead: stat_or_zero(v, "retx_overhead", path),
+        packets_gave_up: stat_or_zero(v, "packets_gave_up", path),
+        flows_gave_up: stat_or_zero(v, "flows_gave_up", path),
     }
 }
 

@@ -75,6 +75,11 @@ pub struct EnsembleStats {
     /// Queue-oscillation amplitude over the replications whose trace
     /// tail oscillated (`None` when no replication did).
     pub oscillation_amplitude: Option<Stat>,
+    /// Worst per-hop downtime fraction (link-flap outage share of the
+    /// post-warmup window; 0 without dynamic faults).
+    pub downtime_frac: Stat,
+    /// Mean post-fault recovery time across hops that recorded one.
+    pub recovery_time: Stat,
     /// Finite-flow workload statistics, `Some` iff the replications
     /// carried a workload (presence must agree across replications).
     pub workload: Option<WorkloadEnsemble>,
@@ -103,6 +108,17 @@ pub struct WorkloadEnsemble {
     pub slowdown_p99: Stat,
     /// Per-run peak concurrently-active flow count.
     pub peak_active: Stat,
+    /// Per-run count of workload packets terminally dropped (always 0
+    /// under a retry policy — terminal losses become `packets_gave_up`).
+    pub packets_dropped: Stat,
+    /// Per-run goodput (first-copy deliveries per second of horizon).
+    pub goodput: Stat,
+    /// Per-run retransmission overhead (retransmits / packets sent).
+    pub retx_overhead: Stat,
+    /// Per-run count of packets abandoned after exhausting retries.
+    pub packets_gave_up: Stat,
+    /// Per-run count of flows with at least one abandoned packet.
+    pub flows_gave_up: Stat,
 }
 
 /// Replication policy: how many seeds per cell.
@@ -170,6 +186,8 @@ pub struct CellAccum {
     flow_ctl_std: Vec<RunningStats>,
     /// Only replications whose trace tail oscillated push here.
     oscillation: RunningStats,
+    downtime_frac: RunningStats,
+    recovery_time: RunningStats,
     /// Workload accumulators, allocated iff the first summary carried
     /// workload stats; later presence disagreement errors.
     wl: Option<WlAccum>,
@@ -186,6 +204,11 @@ struct WlAccum {
     slowdown_mean: RunningStats,
     slowdown_p99: RunningStats,
     peak_active: RunningStats,
+    packets_dropped: RunningStats,
+    goodput: RunningStats,
+    retx_overhead: RunningStats,
+    packets_gave_up: RunningStats,
+    flows_gave_up: RunningStats,
 }
 
 impl WlAccum {
@@ -198,6 +221,11 @@ impl WlAccum {
         self.slowdown_mean.push(w.slowdown.mean);
         self.slowdown_p99.push(w.slowdown.p99);
         self.peak_active.push(w.peak_active as f64);
+        self.packets_dropped.push(w.packets_dropped as f64);
+        self.goodput.push(w.goodput);
+        self.retx_overhead.push(w.retx_overhead);
+        self.packets_gave_up.push(w.packets_gave_up as f64);
+        self.flows_gave_up.push(w.flows_gave_up as f64);
     }
 
     fn finish(&self) -> WorkloadEnsemble {
@@ -210,6 +238,11 @@ impl WlAccum {
             slowdown_mean: Stat::from_running(&self.slowdown_mean),
             slowdown_p99: Stat::from_running(&self.slowdown_p99),
             peak_active: Stat::from_running(&self.peak_active),
+            packets_dropped: Stat::from_running(&self.packets_dropped),
+            goodput: Stat::from_running(&self.goodput),
+            retx_overhead: Stat::from_running(&self.retx_overhead),
+            packets_gave_up: Stat::from_running(&self.packets_gave_up),
+            flows_gave_up: Stat::from_running(&self.flows_gave_up),
         }
     }
 }
@@ -263,6 +296,8 @@ impl CellAccum {
         if let Some(o) = &s.queue_oscillation {
             self.oscillation.push(o.amplitude);
         }
+        self.downtime_frac.push(s.downtime_frac);
+        self.recovery_time.push(s.recovery_time);
         if let (Some(acc), Some(w)) = (&mut self.wl, &s.workload) {
             acc.push(w);
         }
@@ -297,6 +332,8 @@ impl CellAccum {
             } else {
                 Some(Stat::from_running(&self.oscillation))
             },
+            downtime_frac: Stat::from_running(&self.downtime_frac),
+            recovery_time: Stat::from_running(&self.recovery_time),
             workload: self.wl.as_ref().map(WlAccum::finish),
         })
     }

@@ -281,7 +281,7 @@ mod tests {
         // The fold onto the topology engine must not move any number:
         // the scenario summary equals run_with_faults + summarize on the
         // same seed, field for field.
-        let sc = base().with_faults(FaultConfig { loss_prob: 0.02 });
+        let sc = base().with_faults(FaultConfig::Iid { loss_prob: 0.02 });
         let via_scenario = sc.run_seeded(11).unwrap();
         let mut cfg = sc.config.clone();
         cfg.seed = 11;
@@ -365,18 +365,18 @@ mod tests {
                     buffer: None,
                 },
             ))
-            .with_faults(FaultConfig { loss_prob: 0.1 });
+            .with_faults(FaultConfig::Iid { loss_prob: 0.1 });
         let (net, _) = sc.network(1).unwrap();
         assert_eq!(net.faults.len(), 2);
-        assert!(net.faults.iter().all(|f| f.loss_prob == 0.1));
+        assert!(net.faults.iter().all(|f| *f == FaultConfig::iid(0.1)));
 
         let sc = sc.with_hop_faults(vec![
-            FaultConfig { loss_prob: 0.0 },
-            FaultConfig { loss_prob: 0.2 },
+            FaultConfig::Iid { loss_prob: 0.0 },
+            FaultConfig::Iid { loss_prob: 0.2 },
         ]);
         let (net, _) = sc.network(1).unwrap();
-        assert_eq!(net.faults[0].loss_prob, 0.0);
-        assert_eq!(net.faults[1].loss_prob, 0.2);
+        assert_eq!(net.faults[0], FaultConfig::iid(0.0));
+        assert_eq!(net.faults[1], FaultConfig::iid(0.2));
     }
 
     #[test]

@@ -140,10 +140,63 @@ impl Axis {
         })
     }
 
-    /// Sweep the fault-injection loss probability.
+    /// Sweep the fault-injection loss probability (i.i.d. loss on
+    /// every hop).
     #[must_use]
     pub fn loss_prob(values: Vec<f64>) -> Self {
-        Self::new("loss_prob", values, |sc, v| sc.faults.loss_prob = v)
+        Self::new("loss_prob", values, |sc, v| {
+            sc.faults = fpk_sim::FaultConfig::Iid { loss_prob: v };
+        })
+    }
+
+    /// Sweep the fault *model* by coded value: `round(v)` selects
+    /// 0 = fault-free, 1 = i.i.d. 2% loss, 2 = Gilbert–Elliott bursts
+    /// (good↔bad at 0.5/2 Hz, 0%/10% loss — same 2% long-run average
+    /// loss as code 1, concentrated in bursts), 3 = link flapping
+    /// (down 0.1 Hz, up 1 Hz — ≈9% downtime), ≥ 4 = periodic capacity
+    /// degradation (μ halved every 5 s). For other parameterisations
+    /// use [`Axis::new`] with a custom apply that sets
+    /// [`fpk_sim::FaultConfig`] directly.
+    #[must_use]
+    pub fn fault_model(values: Vec<f64>) -> Self {
+        Self::new("fault", values, |sc, v| {
+            sc.faults = match v.round() as i64 {
+                0 => fpk_sim::FaultConfig::Iid { loss_prob: 0.0 },
+                1 => fpk_sim::FaultConfig::Iid { loss_prob: 0.02 },
+                2 => fpk_sim::FaultConfig::GilbertElliott {
+                    p_gb: 0.5,
+                    p_bg: 2.0,
+                    loss_good: 0.0,
+                    loss_bad: 0.10,
+                },
+                3 => fpk_sim::FaultConfig::LinkFlap {
+                    up_rate: 1.0,
+                    down_rate: 0.1,
+                },
+                _ => fpk_sim::FaultConfig::Degrade {
+                    factor: 0.5,
+                    period: 5.0,
+                },
+            };
+        })
+    }
+
+    /// Sweep the workload's RTO retransmission policy by retry budget:
+    /// `round(v)` = 0 removes the policy (drops are final), n ≥ 1 sets
+    /// an [`fpk_sim::RtoPolicy`] with `rto_base` 0.05 s, backoff ×2,
+    /// and `max_retries = n`. No-op on scenarios without a workload.
+    #[must_use]
+    pub fn rto_policy(values: Vec<f64>) -> Self {
+        Self::new("rto", values, |sc, v| {
+            if let Some(w) = &mut sc.workload {
+                let n = v.round().max(0.0) as u32;
+                w.rto = (n >= 1).then_some(fpk_sim::RtoPolicy {
+                    rto_base: 0.05,
+                    backoff: 2.0,
+                    max_retries: n,
+                });
+            }
+        })
     }
 
     /// Sweep the initial window `w0` of every window/DECbit source.
@@ -522,8 +575,8 @@ mod tests {
         assert_eq!(cells[1].scenario.config.buffer, Some(8));
         assert_eq!(cells[2].scenario.config.buffer, None);
         assert_eq!(cells[3].scenario.config.buffer, None);
-        assert!((cells[1].scenario.faults.loss_prob - 0.1).abs() < 1e-15);
-        assert!(cells[0].scenario.faults.loss_prob.abs() < 1e-15);
+        assert_eq!(cells[1].scenario.faults, fpk_sim::FaultConfig::iid(0.1));
+        assert_eq!(cells[0].scenario.faults, fpk_sim::FaultConfig::iid(0.0));
         match &cells[0].scenario.sources[0] {
             SourceSpec::Rate { prop_delay, .. } => assert!((prop_delay - 0.05).abs() < 1e-15),
             _ => panic!("unexpected source kind"),
@@ -588,24 +641,20 @@ mod tests {
                     buffer: None,
                 },
             ))
-            .with_faults(fpk_sim::FaultConfig { loss_prob: 0.01 })
+            .with_faults(fpk_sim::FaultConfig::Iid { loss_prob: 0.01 })
             .with_hop_faults(vec![
-                fpk_sim::FaultConfig { loss_prob: 0.0 },
-                fpk_sim::FaultConfig { loss_prob: 0.2 },
-                fpk_sim::FaultConfig { loss_prob: 0.0 },
+                fpk_sim::FaultConfig::Iid { loss_prob: 0.0 },
+                fpk_sim::FaultConfig::Iid { loss_prob: 0.2 },
+                fpk_sim::FaultConfig::Iid { loss_prob: 0.0 },
             ]);
         for (k, expect) in [(2.0, vec![0.0, 0.2]), (4.0, vec![0.0, 0.2, 0.0, 0.01])] {
             let cells = Sweep::new(base.clone(), 5)
                 .axis(Axis::hop_count(vec![k]))
                 .cells();
             let sc = &cells[0].scenario;
-            let probs: Vec<f64> = sc
-                .hop_faults
-                .as_ref()
-                .unwrap()
-                .iter()
-                .map(|f| f.loss_prob)
-                .collect();
+            let probs: Vec<fpk_sim::FaultConfig> = sc.hop_faults.as_ref().unwrap().clone();
+            let expect: Vec<fpk_sim::FaultConfig> =
+                expect.into_iter().map(fpk_sim::FaultConfig::iid).collect();
             assert_eq!(probs, expect, "k = {k}");
             // And the cell actually runs through the engine.
             assert!(sc.run_seeded(1).is_ok(), "k = {k} must validate");

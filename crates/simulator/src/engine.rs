@@ -102,15 +102,136 @@ pub struct SimResult {
     pub utilization: f64,
 }
 
-/// Fault-injection knobs (random loss on the path to the bottleneck),
-/// in the spirit of the `--drop-chance` options network stacks ship for
-/// robustness testing.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
-pub struct FaultConfig {
-    /// Probability that a packet is lost before reaching the queue.
-    /// Window flows receive a marked ack for the loss (drop-as-signal);
-    /// rate flows simply lose the packet.
-    pub loss_prob: f64,
+/// Fault-injection model for one hop (DESIGN §3i), in the spirit of the
+/// `--drop-chance` options network stacks ship for robustness testing —
+/// extended from static loss to dynamic per-hop fault *processes*.
+///
+/// [`FaultConfig::Iid`] is the historical time-invariant model and the
+/// `Default`. The dynamic variants each advance a small deterministic
+/// state machine on the hop's dedicated event side-lane; hops whose
+/// fault is absent or `Iid` consume **zero** extra RNG draws, so
+/// fault-free runs stay bit-identical to the pre-enum engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultConfig {
+    /// Time-invariant random loss. Window flows receive a marked ack
+    /// for the loss (drop-as-signal); rate flows simply lose the
+    /// packet.
+    Iid {
+        /// Probability that a packet is lost on arrival at the hop.
+        loss_prob: f64,
+    },
+    /// Gilbert–Elliott bursty loss: a two-state continuous-time chain
+    /// with exponential sojourns, applying `loss_good` in the good
+    /// state and `loss_bad` in the bad state. With `p_gb == p_bg` and
+    /// `loss_good == loss_bad` the loss statistics degenerate to
+    /// [`FaultConfig::Iid`].
+    GilbertElliott {
+        /// Transition rate good → bad (per second).
+        p_gb: f64,
+        /// Transition rate bad → good (per second).
+        p_bg: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+    },
+    /// Link up/down flapping: exponential up-times at `down_rate`
+    /// (rate of *going* down) alternate with exponential down-times at
+    /// `up_rate` (rate of coming back up). A down hop stalls its
+    /// server non-preemptively — the packet in service completes,
+    /// arrivals park in the queue (subject to the buffer) until the
+    /// link recovers. Long-run downtime fraction is
+    /// `down_rate / (up_rate + down_rate)`.
+    LinkFlap {
+        /// Rate at which a downed link comes back up (per second).
+        up_rate: f64,
+        /// Rate at which an up link goes down (per second).
+        down_rate: f64,
+    },
+    /// Periodic capacity degradation: every `period` seconds the hop's
+    /// service rate toggles between μ and `factor`·μ. Fully
+    /// deterministic — consumes no RNG draws at all.
+    Degrade {
+        /// Multiplier in (0, 1] applied to μ while degraded.
+        factor: f64,
+        /// Time between capacity toggles (seconds).
+        period: f64,
+    },
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::Iid { loss_prob: 0.0 }
+    }
+}
+
+impl FaultConfig {
+    /// Static random loss — shorthand for the historical model.
+    #[must_use]
+    pub const fn iid(loss_prob: f64) -> Self {
+        Self::Iid { loss_prob }
+    }
+
+    /// Whether this fault drives a per-hop event chain (and therefore
+    /// needs a dedicated side lane in the event queue).
+    #[must_use]
+    pub const fn is_dynamic(&self) -> bool {
+        !matches!(self, Self::Iid { .. })
+    }
+
+    /// Validate the variant's probabilities and rates. NaN fails every
+    /// range check below, so non-finite garbage is rejected uniformly.
+    ///
+    /// # Errors
+    /// A named [`NumericsError::InvalidParameter`] for the offending
+    /// variant: loss probabilities outside [0, 1), non-positive or
+    /// non-finite transition/flap rates, `Degrade` factor outside
+    /// (0, 1] or a non-positive period.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |context: &'static str| Err(NumericsError::InvalidParameter { context });
+        match *self {
+            Self::Iid { loss_prob } => {
+                if !(0.0..1.0).contains(&loss_prob) {
+                    return bad("FaultConfig::Iid: loss_prob must lie in [0, 1)");
+                }
+            }
+            Self::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+            } => {
+                if !(p_gb.is_finite() && p_gb > 0.0 && p_bg.is_finite() && p_bg > 0.0) {
+                    return bad(
+                        "FaultConfig::GilbertElliott: transition rates must be positive and finite",
+                    );
+                }
+                if !((0.0..1.0).contains(&loss_good) && (0.0..1.0).contains(&loss_bad)) {
+                    return bad(
+                        "FaultConfig::GilbertElliott: loss probabilities must lie in [0, 1)",
+                    );
+                }
+            }
+            Self::LinkFlap { up_rate, down_rate } => {
+                if !(up_rate.is_finite()
+                    && up_rate > 0.0
+                    && down_rate.is_finite()
+                    && down_rate > 0.0)
+                {
+                    return bad("FaultConfig::LinkFlap: flap rates must be positive and finite");
+                }
+            }
+            Self::Degrade { factor, period } => {
+                if !(factor.is_finite() && factor > 0.0 && factor <= 1.0) {
+                    return bad("FaultConfig::Degrade: factor must lie in (0, 1]");
+                }
+                if !(period.is_finite() && period > 0.0) {
+                    return bad("FaultConfig::Degrade: period must be positive and finite");
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Run the simulation without fault injection.
@@ -127,17 +248,13 @@ pub fn run(config: &SimConfig, sources: &[SourceSpec]) -> Result<SimResult> {
 ///
 /// # Errors
 /// Configuration validation errors; rejects an empty source list and
-/// `loss_prob` outside [0, 1).
+/// invalid fault parameters (see [`FaultConfig::validate`]).
 pub fn run_with_faults(
     config: &SimConfig,
     sources: &[SourceSpec],
     faults: &FaultConfig,
 ) -> Result<SimResult> {
-    if !(0.0..1.0).contains(&faults.loss_prob) {
-        return Err(NumericsError::InvalidParameter {
-            context: "run_with_faults: loss_prob must lie in [0, 1)",
-        });
-    }
+    faults.validate()?;
     config.validate()?;
     if sources.is_empty() {
         return Err(NumericsError::InvalidParameter {
@@ -413,8 +530,12 @@ mod tests {
             w0: 4.0,
         };
         for loss_prob in [0.0, 0.05] {
-            let out = run_with_faults(&cfg, std::slice::from_ref(&src), &FaultConfig { loss_prob })
-                .unwrap();
+            let out = run_with_faults(
+                &cfg,
+                std::slice::from_ref(&src),
+                &FaultConfig::Iid { loss_prob },
+            )
+            .unwrap();
             let f = &out.flows[0];
             let accounted = f.delivered + f.dropped;
             let peak_window = out
@@ -507,8 +628,12 @@ mod fault_tests {
 
     #[test]
     fn loss_injection_counts_drops() {
-        let out =
-            run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.05 }).unwrap();
+        let out = run_with_faults(
+            &cfg(),
+            &[window_src()],
+            &FaultConfig::Iid { loss_prob: 0.05 },
+        )
+        .unwrap();
         assert!(out.flows[0].dropped > 0, "expected injected drops");
         // Roughly 5% of sent packets should be lost.
         let frac = out.flows[0].dropped as f64 / out.flows[0].sent.max(1) as f64;
@@ -518,8 +643,12 @@ mod fault_tests {
     #[test]
     fn loss_reduces_window_flow_throughput() {
         let clean = run(&cfg(), &[window_src()]).unwrap();
-        let lossy =
-            run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.08 }).unwrap();
+        let lossy = run_with_faults(
+            &cfg(),
+            &[window_src()],
+            &FaultConfig::Iid { loss_prob: 0.08 },
+        )
+        .unwrap();
         assert!(
             lossy.flows[0].throughput < 0.8 * clean.flows[0].throughput,
             "loss should depress throughput: {} vs {}",
@@ -531,15 +660,82 @@ mod fault_tests {
     #[test]
     fn zero_loss_matches_plain_run() {
         let a = run(&cfg(), &[window_src()]).unwrap();
-        let b = run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 0.0 }).unwrap();
+        let b = run_with_faults(
+            &cfg(),
+            &[window_src()],
+            &FaultConfig::Iid { loss_prob: 0.0 },
+        )
+        .unwrap();
         assert_eq!(a.flows[0].delivered, b.flows[0].delivered);
     }
 
     #[test]
     fn rejects_invalid_loss_prob() {
-        assert!(run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: 1.0 }).is_err());
+        assert!(run_with_faults(
+            &cfg(),
+            &[window_src()],
+            &FaultConfig::Iid { loss_prob: 1.0 }
+        )
+        .is_err());
+        assert!(run_with_faults(
+            &cfg(),
+            &[window_src()],
+            &FaultConfig::Iid { loss_prob: -0.1 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_dynamic_fault_parameters() {
+        let ge =
+            |p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64| FaultConfig::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+            };
+        assert!(ge(0.5, 2.0, 0.0, 0.25).validate().is_ok());
         assert!(
-            run_with_faults(&cfg(), &[window_src()], &FaultConfig { loss_prob: -0.1 }).is_err()
+            ge(0.0, 2.0, 0.0, 0.25).validate().is_err(),
+            "p_gb must be positive"
+        );
+        assert!(
+            ge(0.5, f64::NAN, 0.0, 0.25).validate().is_err(),
+            "rates must be finite"
+        );
+        assert!(
+            ge(0.5, 2.0, 1.0, 0.25).validate().is_err(),
+            "loss_good in [0, 1)"
+        );
+        assert!(
+            ge(0.5, 2.0, 0.0, -0.1).validate().is_err(),
+            "loss_bad in [0, 1)"
+        );
+
+        let flap = |up_rate: f64, down_rate: f64| FaultConfig::LinkFlap { up_rate, down_rate };
+        assert!(flap(1.0, 0.1).validate().is_ok());
+        assert!(
+            flap(0.0, 0.1).validate().is_err(),
+            "up_rate must be positive"
+        );
+        assert!(
+            flap(1.0, f64::INFINITY).validate().is_err(),
+            "rates must be finite"
+        );
+
+        let degrade = |factor: f64, period: f64| FaultConfig::Degrade { factor, period };
+        assert!(degrade(0.5, 5.0).validate().is_ok());
+        assert!(
+            degrade(0.0, 5.0).validate().is_err(),
+            "factor must be in (0, 1]"
+        );
+        assert!(
+            degrade(1.5, 5.0).validate().is_err(),
+            "factor must be in (0, 1]"
+        );
+        assert!(
+            degrade(0.5, 0.0).validate().is_err(),
+            "period must be positive"
         );
     }
 }

@@ -63,6 +63,10 @@ pub enum EventKind {
         /// the run's reference bytes; exactly `1.0` for unit-packet
         /// runs, which never read it).
         size: f32,
+        /// Retransmission attempt index: `0` for a first transmission,
+        /// `k` for the k-th RTO retransmission of a workload packet
+        /// (always `0` without a retransmission policy; see DESIGN §3i).
+        attempt: u8,
     },
     /// The packet at the head of link `hop`'s queue finishes service.
     Departure {
@@ -110,6 +114,25 @@ pub enum EventKind {
     FlowComplete {
         /// Index of the completing flow (≥ the static-flow count).
         flow: usize,
+    },
+    /// Link `hop` goes down (LinkFlap fault, DESIGN §3i): the server
+    /// stalls after the packet in service (if any) completes; arrivals
+    /// park in the queue until the matching [`EventKind::LinkUp`].
+    LinkDown {
+        /// Index of the failing link.
+        hop: usize,
+    },
+    /// Link `hop` comes back up: parked packets resume service and the
+    /// next failure is scheduled.
+    LinkUp {
+        /// Index of the recovering link.
+        hop: usize,
+    },
+    /// The per-hop fault process advances: a Gilbert–Elliott state flip
+    /// or a `Degrade` capacity toggle (self-rescheduling).
+    FaultShift {
+        /// Index of the link whose fault state machine advances.
+        hop: usize,
     },
     /// Periodic statistics sampling.
     Sample,
@@ -514,6 +537,7 @@ mod tests {
                 hop: 0,
                 marked: false,
                 size: 1.0,
+                attempt: 0,
             },
         );
         let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.t)).collect();
@@ -531,6 +555,7 @@ mod tests {
                     hop: 0,
                     marked: false,
                     size: 1.0,
+                    attempt: 0,
                 },
             );
         }
@@ -679,6 +704,7 @@ mod tests {
                     hop: 0,
                     marked: x & 1 == 0,
                     size: 1.0,
+                    attempt: 0,
                 };
                 fast.push(t, kind);
                 reference.push(Event { t, seq, kind });

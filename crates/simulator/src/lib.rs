@@ -84,5 +84,5 @@ pub use tandem::{run_tandem, TandemConfig, TandemFlow, TandemFlowStats, TandemRe
 pub use units::{Bits, BitsPerSec, Bytes, Delay};
 pub use workload::{
     ideal_fct, ideal_fct_sized, zipf_weights, ArrivalProcess, DistSummary, FlowSizeDist,
-    PacketBytes, Workload, WorkloadStats,
+    PacketBytes, RtoPolicy, Workload, WorkloadStats,
 };

@@ -33,6 +33,33 @@ pub struct RunSummary {
     /// counters), `Some` iff the run carried a
     /// [`Workload`].
     pub workload: Option<WorkloadStats>,
+    /// Worst per-hop downtime fraction (see
+    /// [`NetResult::downtime_frac`]; exact 0.0 for fault-free runs and
+    /// single-bottleneck [`SimResult`] summaries).
+    pub downtime_frac: f64,
+    /// Mean post-fault recovery time over the hops that sampled one
+    /// (see [`NetResult::recovery_time`]; 0.0 when none did).
+    pub recovery_time: f64,
+}
+
+/// Graceful-degradation summary pair from a network result: the worst
+/// per-hop downtime fraction and the mean recovery time over hops that
+/// sampled one. One definition shared by [`summarize_network`] and the
+/// arena fast path so the two cannot drift apart.
+fn fault_recovery_summary(result: &NetResult) -> (f64, f64) {
+    let downtime = result.downtime_frac.iter().copied().fold(0.0, f64::max);
+    let sampled: Vec<f64> = result
+        .recovery_time
+        .iter()
+        .copied()
+        .filter(|&r| r > 0.0)
+        .collect();
+    let recovery = if sampled.is_empty() {
+        0.0
+    } else {
+        fpk_numerics::stats::mean(&sampled)
+    };
+    (downtime, recovery)
 }
 
 /// Summarise a simulation result, analysing the final `tail_fraction` of
@@ -57,6 +84,8 @@ pub fn summarize(result: &SimResult, tail_fraction: f64) -> Result<RunSummary> {
         ctl_std,
         throughputs,
         workload: None,
+        downtime_frac: 0.0,
+        recovery_time: 0.0,
     })
 }
 
@@ -135,6 +164,7 @@ pub fn summarize_network(result: &NetResult, tail_fraction: f64) -> Result<RunSu
     let queue_oscillation =
         analyze_oscillation(&result.trace_t, &result.trace_q[bottleneck], tail_fraction)?;
     let ctl_std = tail_ctl_std(&result.trace_ctl, result.flows.len(), tail_fraction);
+    let (downtime_frac, recovery_time) = fault_recovery_summary(result);
     Ok(RunSummary {
         jain,
         mean_queue: fpk_numerics::stats::mean(&result.mean_queue),
@@ -144,6 +174,8 @@ pub fn summarize_network(result: &NetResult, tail_fraction: f64) -> Result<RunSu
         ctl_std,
         throughputs,
         workload: result.workload.clone(),
+        downtime_frac,
+        recovery_time,
     })
 }
 
@@ -227,6 +259,7 @@ fn arena_summary(arena: &NetArena, out: NetResult, tail_fraction: f64) -> Result
     let queue_oscillation =
         analyze_oscillation(&arena.trace_t, &arena.trace_q[bottleneck], tail_fraction)?;
     let ctl_std = tail_ctl_std_flat(&arena.trace_ctl, out.flows.len(), tail_fraction);
+    let (downtime_frac, recovery_time) = fault_recovery_summary(&out);
     Ok(RunSummary {
         jain,
         mean_queue: fpk_numerics::stats::mean(&out.mean_queue),
@@ -236,6 +269,8 @@ fn arena_summary(arena: &NetArena, out: NetResult, tail_fraction: f64) -> Result
         ctl_std,
         throughputs,
         workload: out.workload,
+        downtime_frac,
+        recovery_time,
     })
 }
 
@@ -321,7 +356,7 @@ mod tests {
         use crate::network::{run_network, FlowSpec, NetConfig, Topology};
         let cfg = NetConfig {
             topology: Topology::single(50.0, Service::Exponential, Some(40)),
-            faults: vec![crate::engine::FaultConfig { loss_prob: 0.02 }],
+            faults: vec![crate::engine::FaultConfig::Iid { loss_prob: 0.02 }],
             t_end: 30.0,
             warmup: 6.0,
             sample_interval: 0.1,

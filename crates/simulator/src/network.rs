@@ -30,8 +30,8 @@ use crate::qdisc::{
 };
 use crate::source::{rate_update, window_on_ack, SourceSpec, SourceState};
 use crate::workload::{
-    ideal_fct_sized, sample_cumulative, DistSummary, FlowSizeDist, PacketBytes, Workload,
-    WorkloadStats,
+    ideal_fct_sized, sample_cumulative, DistSummary, FlowSizeDist, PacketBytes, RtoPolicy,
+    Workload, WorkloadStats,
 };
 use fpk_numerics::{NumericsError, Result};
 use rand::rngs::StdRng;
@@ -181,8 +181,10 @@ impl FlowSpec {
 pub struct NetConfig {
     /// The ordered links.
     pub topology: Topology,
-    /// Per-hop fault injection (random loss on arrival at each hop).
-    /// Empty = lossless everywhere; otherwise one entry per link.
+    /// Per-hop fault injection (i.i.d. loss, bursty Gilbert–Elliott
+    /// loss, link flapping, or capacity degradation — see
+    /// [`FaultConfig`]). Empty = fault-free everywhere; otherwise one
+    /// entry per link.
     pub faults: Vec<FaultConfig>,
     /// Simulated horizon (seconds).
     pub t_end: f64,
@@ -233,14 +235,8 @@ impl NetConfig {
                 context: "NetConfig: faults must be empty or one per link",
             });
         }
-        if self
-            .faults
-            .iter()
-            .any(|f| !(0.0..1.0).contains(&f.loss_prob))
-        {
-            return Err(NumericsError::InvalidParameter {
-                context: "NetConfig: loss_prob must lie in [0, 1)",
-            });
+        for f in &self.faults {
+            f.validate()?;
         }
         if flows.is_empty() && workload.is_none() {
             return Err(NumericsError::InvalidParameter {
@@ -391,6 +387,13 @@ pub struct NetResult {
     /// Aggregate capacity Σ μ over the links (for a 1-link topology this
     /// is exactly the bottleneck μ).
     pub capacity: f64,
+    /// Per-hop fraction of the post-warm-up window the hop's link was
+    /// down ([`FaultConfig::LinkFlap`] outages; exact 0.0 elsewhere).
+    pub downtime_frac: Vec<f64>,
+    /// Per-hop mean post-fault recovery time: from a fault clearing
+    /// until the queue re-enters its pre-fault steady-state band
+    /// (mean queue + 1). 0.0 for hops with no sampled recovery.
+    pub recovery_time: Vec<f64>,
     /// Finite-flow outcome, `Some` iff the run carried a [`Workload`]
     /// (see [`run_network_workload`]). Workload packets count toward
     /// per-hop `utilization`/`mean_queue` but not `flows` /
@@ -434,6 +437,10 @@ pub struct NetArena {
     /// Per-hop FIFO of packet size factors, parallel to `fifos`; only
     /// touched by byte-mode instantiations (`packet_bytes: Some`).
     fifo_bytes: Vec<VecDeque<f32>>,
+    /// Per-hop FIFO of retransmission-attempt indices, parallel to
+    /// `fifos`; only touched when the run's workload carries an
+    /// [`RtoPolicy`] (so the attempt count survives multi-hop routes).
+    fifo_attempt: Vec<VecDeque<u8>>,
     hops: Vec<HopState>,
     /// Per-hop queue-discipline scratch (DECbit averager, RED EWMA).
     qdisc: Vec<HopQdiscState>,
@@ -477,6 +484,11 @@ impl NetArena {
             f.clear();
         }
         self.fifo_bytes.resize_with(k, VecDeque::new);
+        self.fifo_attempt.truncate(k);
+        for f in &mut self.fifo_attempt {
+            f.clear();
+        }
+        self.fifo_attempt.resize_with(k, VecDeque::new);
         self.hops.clear();
         self.hops.resize(k, HopState::default());
         self.qdisc.clear();
@@ -515,16 +527,83 @@ struct FlowHot {
     decbit: bool,
 }
 
-/// Read-only per-hop hot fields, extracted once per run from
-/// [`Link`] / [`FaultConfig`].
+/// Read-only per-hop hot fields, extracted once per run from [`Link`].
+/// (The per-hop loss probability lives in [`FaultState`] — it can move
+/// at runtime under a dynamic [`FaultConfig`].)
 #[derive(Debug, Clone, Copy)]
 struct HopHot {
-    loss_prob: f64,
     buffer: Option<u64>,
     mu: f64,
     /// `1.0 / mu` (the deterministic service time).
     det_service: f64,
     expo: bool,
+}
+
+/// Runtime state of one hop's fault process (DESIGN §3i). The hot path
+/// reads `loss` / `mu` / `det_service` / `down` on every packet; for a
+/// fault-free or [`FaultConfig::Iid`] hop these are constants equal to
+/// the pre-fault values, so the packet path is bit-identical to the
+/// static-loss engine. The remaining fields drive the recovery-time
+/// and downtime metrics and are touched only on fault transitions.
+#[derive(Debug, Clone, Copy)]
+struct FaultState {
+    /// Current per-arrival loss probability at this hop.
+    loss: f64,
+    /// Current service rate (μ, possibly degraded).
+    mu: f64,
+    /// `1.0 / mu` for the current μ.
+    det_service: f64,
+    /// Gilbert–Elliott chain is in the bad state.
+    bad: bool,
+    /// Link is down ([`FaultConfig::LinkFlap`]): server stalled,
+    /// arrivals park in the queue.
+    down: bool,
+    /// Capacity currently degraded ([`FaultConfig::Degrade`]).
+    degraded: bool,
+    /// Instant the current outage began (valid while `down`).
+    down_since: f64,
+    /// Accumulated post-warm-up outage time (closed outages).
+    downtime: f64,
+    /// Steady-state queue band recorded at first fault onset: the
+    /// pre-fault mean queue + 1. Recovery is declared when the queue
+    /// re-enters this band after a fault clears.
+    band: f64,
+    /// A fault cleared and the queue has not yet re-entered `band`.
+    recovering: bool,
+    /// Instant of the most recent fault clear (valid while
+    /// `recovering`).
+    t_up: f64,
+    /// A fault onset has been observed (fixes `band` once).
+    faulted_once: bool,
+    /// Sum of recovery times sampled at this hop.
+    recovery_sum: f64,
+    /// Number of recovery samples.
+    recovery_n: u64,
+}
+
+/// Record a fault onset at a hop: snapshot the pre-fault mean queue
+/// into the recovery band (first onset only — later onsets reuse it so
+/// the band is not contaminated by fault-era queues) and cancel any
+/// recovery in progress.
+#[inline]
+fn fault_onset(fs: &mut FaultState, hs: &HopState, t: f64, warmup: f64) {
+    if !fs.faulted_once {
+        fs.faulted_once = true;
+        let a = hs.area + hs.q_len as f64 * (t - hs.last_change).max(0.0);
+        fs.band = if t > warmup { a / (t - warmup) } else { 0.0 } + 1.0;
+    }
+    fs.recovering = false;
+}
+
+/// Record a fault clearing at a hop: start the recovery clock. The
+/// recovery time is sampled by the next departure that brings the
+/// queue back inside the band (see the `Departure` arm).
+#[inline]
+fn fault_clear(fs: &mut FaultState, t: f64) {
+    if fs.faulted_once {
+        fs.recovering = true;
+        fs.t_up = t;
+    }
 }
 
 /// Per-hop dynamic state, packed into one struct so an event touches a
@@ -559,6 +638,8 @@ struct DynFlow {
     arrival_t: f64,
     /// Idle-network FCT (slowdown denominator).
     ideal: f64,
+    /// At least one packet exhausted its RTO retry budget.
+    gave_up: bool,
 }
 
 /// Running workload counters (ungated by warm-up: conservation must be
@@ -571,6 +652,9 @@ struct WlCounters {
     packets_sent: u64,
     packets_delivered: u64,
     packets_dropped: u64,
+    retransmits: u64,
+    packets_gave_up: u64,
+    flows_gave_up: u64,
     active: u64,
     peak_active: u64,
 }
@@ -584,6 +668,54 @@ fn dyn_account_packet(d: &mut DynFlow, flow: usize, t: f64, ev: &mut EventQueue)
     d.accounted += 1;
     if d.accounted == d.size {
         ev.push(t, EventKind::FlowComplete { flow });
+    }
+}
+
+/// Handle a dropped workload packet. Without an [`RtoPolicy`] the drop
+/// is terminal (`packets_dropped`, accounted). With one, the packet is
+/// re-injected at the flow's first hop after the backed-off timeout —
+/// zero RNG draws, the retry schedule is a pure function of the drop
+/// time — until it either delivers or exhausts `max_retries`, at which
+/// point it is *given up* (`packets_gave_up`, accounted). A free
+/// function (not a closure) so both drop sites can hold other borrows.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn wl_drop(
+    rto: Option<RtoPolicy>,
+    attempt: u8,
+    flow: usize,
+    n_static: usize,
+    first_hop: usize,
+    prop_delay: f64,
+    t: f64,
+    size: f32,
+    wlc: &mut WlCounters,
+    dyn_flows: &mut [DynFlow],
+    ev: &mut EventQueue,
+) {
+    let slot = flow - n_static;
+    let Some(r) = rto else {
+        wlc.packets_dropped += 1;
+        dyn_account_packet(&mut dyn_flows[slot], flow, t, ev);
+        return;
+    };
+    if u32::from(attempt) < r.max_retries {
+        wlc.retransmits += 1;
+        let wait = r.wait_before(u32::from(attempt) + 1);
+        ev.push(
+            t + wait + prop_delay,
+            EventKind::Arrival {
+                flow,
+                hop: first_hop,
+                marked: false,
+                size,
+                attempt: attempt + 1,
+            },
+        );
+    } else {
+        wlc.packets_gave_up += 1;
+        dyn_flows[slot].gave_up = true;
+        dyn_account_packet(&mut dyn_flows[slot], flow, t, ev);
     }
 }
 
@@ -752,6 +884,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
     let mut states = std::mem::take(&mut arena.states);
     let mut fifos = std::mem::take(&mut arena.fifos);
     let mut fifo_bytes = std::mem::take(&mut arena.fifo_bytes);
+    let mut fifo_attempt = std::mem::take(&mut arena.fifo_attempt);
     let mut hops = std::mem::take(&mut arena.hops);
     let mut qdisc_state = std::mem::take(&mut arena.qdisc);
     let mut trace_t = std::mem::take(&mut arena.trace_t);
@@ -801,15 +934,50 @@ fn run_core<Q: QDisc, const BYTES: bool>(
         .topology
         .links
         .iter()
-        .enumerate()
-        .map(|(h, l)| HopHot {
-            loss_prob: self_loss(&config.faults, h),
+        .map(|l| HopHot {
             buffer: l.buffer,
             mu: l.mu,
             det_service: 1.0 / l.mu,
             expo: l.service == Service::Exponential,
         })
         .collect();
+    // Per-hop fault runtime state (DESIGN §3i). For fault-free and
+    // `Iid` hops every hot field is the constant the engine always
+    // used (`loss` = the static loss, `mu`/`det_service` = the link's),
+    // so the packet path below is bit-identical to the static-loss
+    // engine. Gilbert–Elliott chains start in the good state; flapping
+    // links start up; degradation starts at full capacity.
+    let mut fault_state: Vec<FaultState> = (0..k)
+        .map(|h| {
+            let loss = match fault_at(&config.faults, h) {
+                FaultConfig::Iid { loss_prob } => loss_prob,
+                FaultConfig::GilbertElliott { loss_good, .. } => loss_good,
+                FaultConfig::LinkFlap { .. } | FaultConfig::Degrade { .. } => 0.0,
+            };
+            FaultState {
+                loss,
+                mu: hop_hot[h].mu,
+                det_service: hop_hot[h].det_service,
+                bad: false,
+                down: false,
+                degraded: false,
+                down_since: 0.0,
+                downtime: 0.0,
+                band: 0.0,
+                recovering: false,
+                t_up: 0.0,
+                faulted_once: false,
+                recovery_sum: 0.0,
+                recovery_n: 0,
+            }
+        })
+        .collect();
+    // Retransmission policy: `None` unless the workload carries one.
+    // `rto_active` gates the parallel attempt ring — two perfectly
+    // predicted branches per packet when off, so non-RTO runs stay on
+    // the historical path.
+    let rto = workload.and_then(|w| w.rto);
+    let rto_active = rto.is_some();
 
     // Side lanes for the *per-packet* event streams with at most one
     // pending instance: the sampling clock (lane 0), each hop's next
@@ -844,6 +1012,13 @@ fn run_core<Q: QDisc, const BYTES: bool>(
     // The workload arrival clock is one-pending by construction (each
     // FlowArrival schedules its successor), so it rides a lane too.
     let lane_arrival = alloc_lane(workload.is_some());
+    // Each dynamic-fault hop advances a one-pending state machine
+    // (`LinkDown`/`LinkUp` or `FaultShift`) on its own lane. Fault-free
+    // and `Iid` hops allocate nothing, so existing runs keep their
+    // exact lane layout.
+    let lane_fault: Vec<usize> = (0..k)
+        .map(|h| alloc_lane(fault_at(&config.faults, h).is_dynamic()))
+        .collect();
     ev.set_lane_count(lane_count);
     ev.set_strict(strict);
 
@@ -874,6 +1049,11 @@ fn run_core<Q: QDisc, const BYTES: bool>(
     let mut chk_size_draws: u64 = 0;
     let mut chk_route_draws: u64 = 0;
     let mut chk_gap_draws: u64 = 0;
+    // Fault-lane draw audit (§3i): sojourn draws must equal the
+    // bootstrap draws plus the transitions that rescheduled with one.
+    let mut chk_fault_draws: u64 = 0;
+    let mut chk_fault_moves: u64 = 0;
+    let mut n_fault_boot: u64 = 0;
 
     // Bootstrap events (flow order; identical schedule to the legacy
     // engines so the shims stay bit-identical).
@@ -912,6 +1092,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             hop: f.route.first,
                             marked: false,
                             size: draw_size(&mut rng), // draw: window.bootstrap.pkt — size factor per initial-burst packet
+                            attempt: 0,
                         },
                     );
                 }
@@ -922,6 +1103,35 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                     stats[i].sent += burst;
                 }
             }
+        }
+    }
+    // Fault bootstrap (hop order, after the static-flow bursts and
+    // before the workload's first gap — the §3f position of
+    // `fault.bootstrap.sojourn`). A Gilbert–Elliott hop draws its
+    // first good-state sojourn, a flapping hop its first up-time; the
+    // deterministic `Degrade` clock schedules drawlessly at `period`.
+    // Fault-free and `Iid` hops draw nothing and schedule nothing.
+    for h in 0..k {
+        let first = match fault_at(&config.faults, h) {
+            FaultConfig::Iid { .. } => None,
+            FaultConfig::GilbertElliott { p_gb, .. } => {
+                Some((p_gb, EventKind::FaultShift { hop: h }))
+            }
+            FaultConfig::LinkFlap { down_rate, .. } => {
+                Some((down_rate, EventKind::LinkDown { hop: h }))
+            }
+            FaultConfig::Degrade { period, .. } => {
+                ev.schedule_lane(lane_fault[h], period, EventKind::FaultShift { hop: h });
+                None
+            }
+        };
+        if let Some((rate, kind)) = first {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: fault.bootstrap.sojourn — first fault-transition sojourn (GE/flap hops only)
+            if strict {
+                chk_fault_draws += 1;
+                n_fault_boot += 1;
+            }
+            ev.schedule_lane(lane_fault[h], -u.ln() / rate, kind);
         }
     }
     // Workload bootstrap: the first flow arrives one interarrival gap
@@ -960,12 +1170,15 @@ fn run_core<Q: QDisc, const BYTES: bool>(
         .iter()
         .any(|f| matches!(f.source, SourceSpec::Decbit { .. }));
 
-    let service_time = |rng: &mut StdRng, h: &HopHot| -> f64 {
-        if h.expo {
+    // `mu`/`det` come from the hop's `FaultState` so a degraded hop
+    // serves at its current capacity; without faults they are exactly
+    // the `HopHot` constants, so the arithmetic is bit-identical.
+    let service_time = |rng: &mut StdRng, mu: f64, det: f64, expo: bool| -> f64 {
+        if expo {
             let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: hop.service — exponential service uniform (expo hops only)
-            -u.ln() / h.mu
+            -u.ln() / mu
         } else {
-            h.det_service
+            det
         }
     };
     // One-way return delay from `hop` back to the flow's source (the
@@ -975,7 +1188,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
 
     let warmup = config.warmup;
     let t_end = config.t_end;
-    // lint: hot-path arena(ev, fifos, fifo_bytes, trace_t, trace_q, trace_ctl, fcts, slowdowns, dyn_flows, dyn_free, flow_hot)
+    // lint: hot-path arena(ev, fifos, fifo_bytes, fifo_attempt, trace_t, trace_q, trace_ctl, fcts, slowdowns, dyn_flows, dyn_free, flow_hot)
     while let Some(event) = ev.pop() {
         let t = event.t;
         if t > t_end {
@@ -1002,6 +1215,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             hop: flow_hot[flow].route.first,
                             marked: false,
                             size: draw_size(&mut rng), // draw: rate.pkt — size factor per rate-source packet
+                            attempt: 0,
                         },
                     );
                     let gap = if *poisson {
@@ -1036,6 +1250,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             hop: flow_hot[flow].route.first,
                             marked: false,
                             size: draw_size(&mut rng), // draw: onoff.pkt — size factor per on-off packet
+                            attempt: 0,
                         },
                     );
                     let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: onoff.gap — ON-phase interpacket gap uniform
@@ -1090,12 +1305,16 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 hop,
                 marked,
                 size,
+                attempt,
             } => {
                 let fh = flow_hot[flow];
                 let hh = hop_hot[hop];
-                // Random link loss (per-hop fault injection).
+                // Random link loss (per-hop fault injection; the loss
+                // probability is the hop's *current* one — static for
+                // `Iid`, state-dependent for Gilbert–Elliott).
+                let loss = fault_state[hop].loss;
                 // draw: hop.loss — per-hop loss uniform (faulty hops only)
-                if hh.loss_prob > 0.0 && rng.gen::<f64>() < hh.loss_prob {
+                if loss > 0.0 && rng.gen::<f64>() < loss {
                     if flow < n_static {
                         if t >= warmup {
                             stats[flow].dropped += 1;
@@ -1109,10 +1328,22 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             );
                         }
                     } else {
-                        // Finite flows never retransmit: the drop is
-                        // terminal and counts toward completion.
-                        wlc.packets_dropped += 1;
-                        dyn_account_packet(&mut dyn_flows[flow - n_static], flow, t, &mut ev);
+                        // Terminal without an RTO policy; otherwise the
+                        // packet re-enters at the route head after its
+                        // backed-off timeout (or gives up).
+                        wl_drop(
+                            rto,
+                            attempt,
+                            flow,
+                            n_static,
+                            fh.route.first,
+                            fh.prop_delay,
+                            t,
+                            size,
+                            &mut wlc,
+                            &mut dyn_flows,
+                            &mut ev,
+                        );
                     }
                     continue;
                 }
@@ -1131,8 +1362,19 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                                 );
                             }
                         } else {
-                            wlc.packets_dropped += 1;
-                            dyn_account_packet(&mut dyn_flows[flow - n_static], flow, t, &mut ev);
+                            wl_drop(
+                                rto,
+                                attempt,
+                                flow,
+                                n_static,
+                                fh.route.first,
+                                fh.prop_delay,
+                                t,
+                                size,
+                                &mut wlc,
+                                &mut dyn_flows,
+                                &mut ev,
+                            );
                         }
                         continue;
                     }
@@ -1180,6 +1422,9 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 if BYTES {
                     fifo_bytes[hop].push_back(size);
                 }
+                if rto_active {
+                    fifo_attempt[hop].push_back(attempt);
+                }
                 hs.q_len += 1;
                 if strict && BYTES {
                     assert_eq!(
@@ -1193,9 +1438,12 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                     Q::observe(&mut qdisc_state[hop], t, q as f64);
                 }
                 let hs = &mut hops[hop];
-                if !hs.busy {
+                // A down hop parks the arrival in the queue: service
+                // restarts from the `LinkUp` arm.
+                if !hs.busy && !fault_state[hop].down {
                     hs.busy = true;
-                    let mut svc = service_time(&mut rng, &hh); // draw: arrival.service — service for the packet entering an idle hop
+                    let fs = &fault_state[hop];
+                    let mut svc = service_time(&mut rng, fs.mu, fs.det_service, hh.expo); // draw: arrival.service — service for the packet entering an idle hop
                     if BYTES {
                         // The hop was idle, so the arriving packet is
                         // the one entering service.
@@ -1213,6 +1461,13 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                         .expect("departure from empty byte queue")
                 } else {
                     1.0f32
+                };
+                let attempt = if rto_active {
+                    fifo_attempt[hop]
+                        .pop_front()
+                        .expect("departure from empty attempt queue")
+                } else {
+                    0
                 };
                 if strict && BYTES {
                     assert_eq!(
@@ -1247,6 +1502,18 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 if Q::needs_observe(any_decbit) {
                     Q::observe(&mut qdisc_state[hop], t, q_now as f64);
                 }
+                {
+                    // Post-fault recovery sample (§3i): the first
+                    // departure that brings the queue back inside the
+                    // pre-fault band closes the recovery clock. Always
+                    // false without faults — one predicted branch.
+                    let fs = &mut fault_state[hop];
+                    if fs.recovering && (q_now as f64) <= fs.band {
+                        fs.recovery_sum += t - fs.t_up;
+                        fs.recovery_n += 1;
+                        fs.recovering = false;
+                    }
+                }
                 if exits {
                     // Leaves the network; window flows get an ack across
                     // the whole return path.
@@ -1256,7 +1523,8 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 } else {
                     // Forward to the next hop after one hop delay,
                     // carrying the marks collected so far (and, in byte
-                    // mode, the packet's size factor).
+                    // mode, the packet's size factor; under RTO, its
+                    // attempt index).
                     ev.push(
                         t + fh.prop_delay,
                         EventKind::Arrival {
@@ -1264,11 +1532,16 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             hop: hop + 1,
                             marked,
                             size,
+                            attempt,
                         },
                     );
                 }
-                if q_now > 0 {
-                    let mut svc = service_time(&mut rng, &hop_hot[hop]); // draw: departure.service — service for the next head-of-line packet
+                // A hop that went down mid-service finished its packet
+                // non-preemptively; it starts no successor until the
+                // `LinkUp` arm restarts it.
+                if q_now > 0 && !fault_state[hop].down {
+                    let fs = &fault_state[hop];
+                    let mut svc = service_time(&mut rng, fs.mu, fs.det_service, hop_hot[hop].expo); // draw: departure.service — service for the next head-of-line packet
                     if BYTES {
                         // The new head of line sets the next service.
                         svc *= f64::from(
@@ -1354,6 +1627,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             hop: flow_hot[flow].route.first,
                             marked: false,
                             size: draw_size(&mut rng), // draw: ack.pkt — size factor per ack-clocked window packet
+                            attempt: 0,
                         },
                     );
                     to_send -= 1;
@@ -1393,6 +1667,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                         w.prop_delay,
                         mean_factor,
                     ),
+                    gave_up: false,
                 };
                 let slot = match dyn_free.pop() {
                     Some(s) => {
@@ -1429,6 +1704,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                             hop: route.first,
                             marked: false,
                             size: draw_size(&mut rng), // draw: wl.flow.pkt — size factor per workload-burst packet
+                            attempt: 0,
                         },
                     );
                 }
@@ -1446,6 +1722,9 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 let d = dyn_flows[slot];
                 wlc.active -= 1;
                 wlc.completed += 1;
+                if d.gave_up {
+                    wlc.flows_gave_up += 1;
+                }
                 if d.delivered == d.size {
                     wlc.completed_clean += 1;
                     // FCT/slowdown sample only the post-warm-up, fully
@@ -1500,6 +1779,115 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                     ev.schedule_sample(tk);
                 }
             }
+            EventKind::LinkDown { hop } => {
+                let FaultConfig::LinkFlap { up_rate, .. } = fault_at(&config.faults, hop) else {
+                    unreachable!("LinkDown on a hop without a LinkFlap fault")
+                };
+                fault_onset(&mut fault_state[hop], &hops[hop], t, warmup);
+                let fs = &mut fault_state[hop];
+                fs.down = true;
+                fs.down_since = t;
+                if strict {
+                    chk_fault_moves += 1;
+                    chk_fault_draws += 1;
+                }
+                // Outage length ~ Exp(up_rate); the in-service packet
+                // (if any) completes non-preemptively, after which the
+                // Departure arm parks the queue.
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: fault.flap.downtime — outage-duration uniform
+                ev.schedule_lane(
+                    lane_fault[hop],
+                    t - u.ln() / up_rate,
+                    EventKind::LinkUp { hop },
+                );
+            }
+            EventKind::LinkUp { hop } => {
+                let FaultConfig::LinkFlap { down_rate, .. } = fault_at(&config.faults, hop) else {
+                    unreachable!("LinkUp on a hop without a LinkFlap fault")
+                };
+                let fs = &mut fault_state[hop];
+                fs.down = false;
+                // Downtime is clamped to the measurement window, like
+                // every other post-warm-up accumulator.
+                fs.downtime += (t - fs.down_since.max(warmup)).max(0.0);
+                fault_clear(fs, t);
+                let (mu, det) = (fs.mu, fs.det_service);
+                if strict {
+                    chk_fault_moves += 1;
+                    chk_fault_draws += 1;
+                }
+                // Restart the stalled server for the parked head of
+                // line, if any packets accumulated during the outage.
+                let hs = &mut hops[hop];
+                if hs.q_len > 0 && !hs.busy {
+                    hs.busy = true;
+                    let mut svc = service_time(&mut rng, mu, det, hop_hot[hop].expo); // draw: fault.flap.resume — service restart for the parked head-of-line packet (expo hops only)
+                    if BYTES {
+                        svc *= f64::from(
+                            *fifo_bytes[hop]
+                                .front()
+                                .expect("parked hop with empty byte queue"),
+                        );
+                    }
+                    ev.schedule_lane(1 + hop, t + svc, EventKind::Departure { hop });
+                }
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: fault.flap.uptime — next up-time sojourn uniform
+                ev.schedule_lane(
+                    lane_fault[hop],
+                    t - u.ln() / down_rate,
+                    EventKind::LinkDown { hop },
+                );
+            }
+            EventKind::FaultShift { hop } => match fault_at(&config.faults, hop) {
+                FaultConfig::GilbertElliott {
+                    p_gb,
+                    p_bg,
+                    loss_good,
+                    loss_bad,
+                } => {
+                    if fault_state[hop].bad {
+                        fault_clear(&mut fault_state[hop], t);
+                    } else {
+                        fault_onset(&mut fault_state[hop], &hops[hop], t, warmup);
+                    }
+                    let fs = &mut fault_state[hop];
+                    fs.bad = !fs.bad;
+                    fs.loss = if fs.bad { loss_bad } else { loss_good };
+                    let exit_rate = if fs.bad { p_bg } else { p_gb };
+                    if strict {
+                        chk_fault_moves += 1;
+                        chk_fault_draws += 1;
+                    }
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // draw: fault.ge.sojourn — next Gilbert–Elliott state sojourn uniform
+                    ev.schedule_lane(
+                        lane_fault[hop],
+                        t - u.ln() / exit_rate,
+                        EventKind::FaultShift { hop },
+                    );
+                }
+                FaultConfig::Degrade { factor, period } => {
+                    // Deterministic capacity clock: zero draws. The
+                    // in-service packet keeps its scheduled departure;
+                    // the new μ applies from the next service start.
+                    if fault_state[hop].degraded {
+                        fault_clear(&mut fault_state[hop], t);
+                    } else {
+                        fault_onset(&mut fault_state[hop], &hops[hop], t, warmup);
+                    }
+                    let fs = &mut fault_state[hop];
+                    fs.degraded = !fs.degraded;
+                    fs.mu = if fs.degraded {
+                        hop_hot[hop].mu * factor
+                    } else {
+                        hop_hot[hop].mu
+                    };
+                    fs.det_service = 1.0 / fs.mu;
+                    ev.schedule_lane(lane_fault[hop], t + period, EventKind::FaultShift { hop });
+                }
+                FaultConfig::Iid { .. } | FaultConfig::LinkFlap { .. } => {
+                    unreachable!("FaultShift on a hop without a GE/Degrade fault")
+                }
+            },
         }
     }
     // lint: end
@@ -1524,18 +1912,42 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 );
                 freed[s] = true;
             }
-            // Packet conservation at the horizon: every packet a
-            // workload flow sent was delivered, dropped, or is still in
-            // flight (unaccounted in its slot).
-            let in_flight: u64 = dyn_flows.iter().map(|d| d.size - d.accounted).sum();
+            // Packet conservation at the horizon: every unique packet
+            // a workload flow sent was delivered, terminally dropped,
+            // given up after its RTO retries, parked in the queue of a
+            // downed hop, or is otherwise still in flight (unaccounted
+            // in its slot — including packets waiting out an RTO
+            // timer). `parked` is computed independently by walking the
+            // FIFOs of down hops, so the subtraction doubles as a
+            // `parked ≤ unaccounted` check.
+            let parked: u64 = fifos
+                .iter()
+                .enumerate()
+                .filter(|&(h, _)| fault_state[h].down)
+                .map(|(_, f)| {
+                    f.iter()
+                        .filter(|&&word| fifo_flow_marked(word).0 >= n_static)
+                        .count() as u64
+                })
+                .sum();
+            let unaccounted: u64 = dyn_flows.iter().map(|d| d.size - d.accounted).sum();
+            let in_flight = unaccounted
+                .checked_sub(parked)
+                .expect("FPK_CHECK: parked packets exceed unaccounted packets");
             assert_eq!(
                 wlc.packets_sent,
-                wlc.packets_delivered + wlc.packets_dropped + in_flight,
+                wlc.packets_delivered
+                    + wlc.packets_dropped
+                    + wlc.packets_gave_up
+                    + in_flight
+                    + parked,
                 "FPK_CHECK: workload packet conservation failed at t_end \
-                 (sent {} != delivered {} + dropped {} + in-flight {in_flight})",
+                 (sent {} != delivered {} + dropped {} + gave-up {} + in-flight {in_flight} \
+                 + parked {parked})",
                 wlc.packets_sent,
                 wlc.packets_delivered,
-                wlc.packets_dropped
+                wlc.packets_dropped,
+                wlc.packets_gave_up
             );
             // Draw-count audit against the §3f contract: one route and
             // one size draw per arrival (none for deterministic sizes),
@@ -1560,12 +1972,23 @@ fn run_core<Q: QDisc, const BYTES: bool>(
                 wlc.arrived
             );
         }
+        // Fault-lane draw audit (§3i): every fault sojourn draw belongs
+        // to either the per-hop bootstrap or a transition arm — a
+        // fault-free run must show zeros on both sides.
+        assert_eq!(
+            chk_fault_draws,
+            n_fault_boot + chk_fault_moves,
+            "FPK_CHECK: fault sojourn draws diverged from fault transitions \
+             (bootstrap {n_fault_boot} + moves {chk_fault_moves})"
+        );
     }
 
     // Close the per-hop queue-area integrals at t_end.
     let window = config.t_end - config.warmup;
     let mut mean_queue = Vec::with_capacity(k);
     let mut utilization = Vec::with_capacity(k);
+    let mut downtime_frac = Vec::with_capacity(k);
+    let mut recovery_time = Vec::with_capacity(k);
     for (hop, hs) in hops.iter().enumerate() {
         let mut a = hs.area;
         if config.t_end > hs.last_change {
@@ -1573,6 +1996,19 @@ fn run_core<Q: QDisc, const BYTES: bool>(
         }
         mean_queue.push(a / window);
         utilization.push(hs.served as f64 / window / config.topology.links[hop].mu);
+        // Close an outage still open at the horizon, then normalise by
+        // the measurement window (fault-free hops report exact 0.0).
+        let fs = &fault_state[hop];
+        let mut dt = fs.downtime;
+        if fs.down {
+            dt += (config.t_end - fs.down_since.max(config.warmup)).max(0.0);
+        }
+        downtime_frac.push(dt / window);
+        recovery_time.push(if fs.recovery_n > 0 {
+            fs.recovery_sum / fs.recovery_n as f64
+        } else {
+            0.0
+        });
     }
     for f in &mut stats {
         f.throughput = f.delivered as f64 / window;
@@ -1590,6 +2026,11 @@ fn run_core<Q: QDisc, const BYTES: bool>(
             packets_sent: wlc.packets_sent,
             packets_delivered: wlc.packets_delivered,
             packets_dropped: wlc.packets_dropped,
+            retransmits: wlc.retransmits,
+            packets_gave_up: wlc.packets_gave_up,
+            flows_gave_up: wlc.flows_gave_up,
+            goodput: wlc.packets_delivered as f64 / config.t_end,
+            retx_overhead: wlc.retransmits as f64 / wlc.packets_sent.max(1) as f64,
             peak_active: wlc.peak_active,
             slot_high_water: dyn_flows.len() as u64,
             fct: DistSummary::from_sorted(&fcts),
@@ -1619,6 +2060,7 @@ fn run_core<Q: QDisc, const BYTES: bool>(
         states,
         fifos,
         fifo_bytes,
+        fifo_attempt,
         hops,
         qdisc: qdisc_state,
         trace_t,
@@ -1638,13 +2080,15 @@ fn run_core<Q: QDisc, const BYTES: bool>(
         total_throughput,
         utilization,
         capacity,
+        downtime_frac,
+        recovery_time,
         workload: workload_stats,
     })
 }
 
-/// Loss probability at `hop` (`faults` empty = lossless everywhere).
-fn self_loss(faults: &[FaultConfig], hop: usize) -> f64 {
-    faults.get(hop).map_or(0.0, |f| f.loss_prob)
+/// Fault process at `hop` (`faults` empty = fault-free everywhere).
+fn fault_at(faults: &[FaultConfig], hop: usize) -> FaultConfig {
+    faults.get(hop).copied().unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -1734,8 +2178,8 @@ mod tests {
         // 2-hop flow does.
         let mut cfg = net(2);
         cfg.faults = vec![
-            FaultConfig { loss_prob: 0.0 },
-            FaultConfig { loss_prob: 0.15 },
+            FaultConfig::Iid { loss_prob: 0.0 },
+            FaultConfig::Iid { loss_prob: 0.15 },
         ];
         let flows = vec![window_flow(Route::full(2)), window_flow(Route::single(0))];
         let out = run_network(&cfg, &flows).unwrap();
@@ -1806,6 +2250,8 @@ mod tests {
             utilization: vec![],
             capacity: 0.0,
             workload: None,
+            downtime_frac: vec![],
+            recovery_time: vec![],
         };
         assert_eq!(r.bottleneck_hop(), 1, "ties resolve to the lowest index");
     }
@@ -1825,13 +2271,13 @@ mod tests {
         assert!(run_network(&cfg, &flows).is_err());
         // Faults length mismatch.
         let mut cfg = net(2);
-        cfg.faults = vec![FaultConfig { loss_prob: 0.1 }];
+        cfg.faults = vec![FaultConfig::Iid { loss_prob: 0.1 }];
         assert!(run_network(&cfg, &flows).is_err());
         // Bad loss probability.
         let mut cfg = net(2);
         cfg.faults = vec![
-            FaultConfig { loss_prob: 0.1 },
-            FaultConfig { loss_prob: 1.0 },
+            FaultConfig::Iid { loss_prob: 0.1 },
+            FaultConfig::Iid { loss_prob: 1.0 },
         ];
         assert!(run_network(&cfg, &flows).is_err());
         // Empty flows.

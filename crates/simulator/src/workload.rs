@@ -243,14 +243,77 @@ pub fn sample_cumulative(cum: &[f64], u: f64) -> usize {
     cum.partition_point(|&c| c <= u).min(cum.len() - 1)
 }
 
+/// Per-packet retransmission policy for workload flows: a lost packet
+/// is re-sent from the flow's source after a timeout that backs off
+/// exponentially, up to a bounded number of retries.
+///
+/// The k-th retransmission of a packet (attempt index `k ∈ 1..=
+/// max_retries`) re-enters the network `rto_base · backoff^(k-1)` after
+/// the drop is observed, plus the flow's propagation delay. A packet
+/// dropped on its final permitted attempt is *given up*: it counts
+/// toward the flow's accounted packets (so the flow still completes,
+/// "with drops") and increments `packets_gave_up`. Retransmissions
+/// consume **zero** RNG draws — the retry schedule is a deterministic
+/// function of the drop time — so enabling RTO never perturbs the
+/// draw-order contract of DESIGN §3f (see DESIGN §3i).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RtoPolicy {
+    /// Timeout before the first retransmission (seconds, > 0).
+    pub rto_base: f64,
+    /// Multiplicative backoff per successive retry (≥ 1).
+    pub backoff: f64,
+    /// Maximum retransmissions per packet (≥ 1; attempt indices run
+    /// `0..=max_retries`, so a packet is sent at most
+    /// `max_retries + 1` times).
+    pub max_retries: u32,
+}
+
+impl RtoPolicy {
+    /// Timeout preceding retransmission attempt `attempt` (1-based):
+    /// `rto_base · backoff^(attempt-1)`.
+    #[must_use]
+    pub fn wait_before(&self, attempt: u32) -> f64 {
+        self.rto_base * self.backoff.powi(attempt.saturating_sub(1) as i32)
+    }
+
+    /// Validate the policy parameters.
+    ///
+    /// # Errors
+    /// [`NumericsError::InvalidParameter`] for a non-positive or
+    /// non-finite `rto_base`, a `backoff < 1` or non-finite backoff, or
+    /// `max_retries` outside `1..=255` (attempt indices ride the packet
+    /// as a `u8`).
+    pub fn validate(&self) -> Result<()> {
+        if !(self.rto_base.is_finite() && self.rto_base > 0.0) {
+            return Err(NumericsError::InvalidParameter {
+                context: "RtoPolicy: rto_base must be positive and finite",
+            });
+        }
+        if !(self.backoff.is_finite() && self.backoff >= 1.0) {
+            return Err(NumericsError::InvalidParameter {
+                context: "RtoPolicy: backoff must be finite and >= 1",
+            });
+        }
+        if self.max_retries == 0 || self.max_retries > 255 {
+            return Err(NumericsError::InvalidParameter {
+                context: "RtoPolicy: max_retries must lie in 1..=255",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// An open-loop population of finite flows over a [`Topology`]: when a
 /// flow arrives it draws a size and a route, dumps its packets into the
 /// network as a paced burst, and departs once every packet is accounted.
 ///
-/// Finite flows are *unacknowledged* senders: they neither adapt to
-/// marks nor retransmit drops (a flow with any dropped packet completes
-/// "with drops" and records no FCT), so the workload is a pure
-/// background-load generator the adaptive `FlowSpec` sources react to.
+/// Finite flows are open-loop senders that do not adapt to marks. By
+/// default they do not retransmit drops either (a flow with any dropped
+/// packet completes "with drops" and records no FCT), so the workload
+/// is a pure background-load generator the adaptive `FlowSpec` sources
+/// react to. An optional [`RtoPolicy`] makes each flow re-send lost
+/// packets after an exponentially backed-off timeout, bounding loss to
+/// packets that exhaust their retry budget ("gave up").
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Workload {
     /// Flow interarrival process.
@@ -272,6 +335,9 @@ pub struct Workload {
     /// `false` keeps one slot per arrived flow — the no-recycling
     /// reference the arena stress test compares against.
     pub recycle_slots: bool,
+    /// Optional per-packet retransmission policy (`None` = packets are
+    /// sent once and drops are final, the historical behaviour).
+    pub rto: Option<RtoPolicy>,
 }
 
 impl Workload {
@@ -287,6 +353,7 @@ impl Workload {
             prop_delay: 0.0,
             max_flows: None,
             recycle_slots: true,
+            rto: None,
         }
     }
 
@@ -315,6 +382,13 @@ impl Workload {
     #[must_use]
     pub fn without_recycling(mut self) -> Self {
         self.recycle_slots = false;
+        self
+    }
+
+    /// Enable per-packet RTO retransmission (see [`RtoPolicy`]).
+    #[must_use]
+    pub fn with_rto(mut self, rto: RtoPolicy) -> Self {
+        self.rto = Some(rto);
         self
     }
 
@@ -348,6 +422,9 @@ impl Workload {
             return Err(NumericsError::InvalidParameter {
                 context: "Workload: zipf_s must be finite and prop_delay >= 0",
             });
+        }
+        if let Some(rto) = &self.rto {
+            rto.validate()?;
         }
         Ok(())
     }
@@ -491,10 +568,14 @@ impl DistSummary {
 ///
 /// Conservation contract (pinned by `tests/ideal_fct.rs`):
 /// `arrived == completed + active_at_end` and
-/// `packets_delivered + packets_dropped ≤ packets_sent` (the remainder
-/// is still in flight at the horizon). Flow counters are *not* gated on
-/// warm-up — conservation must be exact — but FCT/slowdown samples are
-/// recorded only for flows arriving after `warmup`.
+/// `packets_delivered + packets_dropped + packets_gave_up ≤
+/// packets_sent` (the remainder is still in flight — or awaiting a
+/// retransmission timer — at the horizon). With an [`RtoPolicy`],
+/// `packets_sent` counts only *first* transmissions; re-sends are
+/// tallied separately in `retransmits`, so goodput/throughput ratios
+/// stay per-unique-packet. Flow counters are *not* gated on warm-up —
+/// conservation must be exact — but FCT/slowdown samples are recorded
+/// only for flows arriving after `warmup`.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadStats {
     /// Flows admitted within the horizon.
@@ -509,8 +590,27 @@ pub struct WorkloadStats {
     pub packets_sent: u64,
     /// Workload packets that completed service at their last hop.
     pub packets_delivered: u64,
-    /// Workload packets lost to faults or full buffers.
+    /// Workload packets lost to faults or full buffers with no retry
+    /// pending (without an [`RtoPolicy`] every drop is final and lands
+    /// here; with one, only drops are counted whose packet later gives
+    /// up — see `packets_gave_up` — or whose drop *is* the give-up).
     pub packets_dropped: u64,
+    /// Retransmission attempts injected under an [`RtoPolicy`] (0
+    /// without one). Not included in `packets_sent`.
+    pub retransmits: u64,
+    /// Packets abandoned after exhausting their RTO retry budget (0
+    /// without an [`RtoPolicy`]).
+    pub packets_gave_up: u64,
+    /// Completed flows that abandoned at least one packet (subset of
+    /// `completed − completed_clean`).
+    pub flows_gave_up: u64,
+    /// Unique-packet delivery rate `packets_delivered / t_end`
+    /// (packets/s) — the graceful-degradation "goodput" the fault
+    /// figures compare against raw throughput.
+    pub goodput: f64,
+    /// Retransmission overhead `retransmits / max(packets_sent, 1)` —
+    /// extra network work per unique packet.
+    pub retx_overhead: f64,
     /// High-water mark of concurrently active flows.
     pub peak_active: u64,
     /// Per-flow slots allocated: equals `peak_active` with recycling,
@@ -734,5 +834,47 @@ mod tests {
         let mut w = ok;
         w.prop_delay = -0.1;
         assert!(w.validate(&topo).is_err(), "negative delay");
+    }
+
+    #[test]
+    fn validate_rejects_bad_rto_policies() {
+        use crate::engine::Service;
+        let topo = Topology::single(10.0, Service::Deterministic, None);
+        let pol = |rto_base: f64, backoff: f64, max_retries: u32| RtoPolicy {
+            rto_base,
+            backoff,
+            max_retries,
+        };
+        let with = |p: RtoPolicy| {
+            Workload::new(
+                ArrivalProcess::Poisson { rate: 1.0 },
+                FlowSizeDist::Deterministic { packets: 1 },
+                vec![Route::single(0)],
+            )
+            .with_rto(p)
+        };
+        assert!(with(pol(0.05, 2.0, 6)).validate(&topo).is_ok());
+        assert!(
+            pol(0.05, 1.0, 1).validate().is_ok(),
+            "constant RTO is legal"
+        );
+        assert!(
+            with(pol(0.0, 2.0, 6)).validate(&topo).is_err(),
+            "zero rto_base"
+        );
+        assert!(
+            pol(f64::NAN, 2.0, 6).validate().is_err(),
+            "non-finite rto_base"
+        );
+        assert!(pol(0.05, 0.5, 6).validate().is_err(), "backoff below 1");
+        assert!(
+            pol(0.05, f64::INFINITY, 6).validate().is_err(),
+            "non-finite backoff"
+        );
+        assert!(pol(0.05, 2.0, 0).validate().is_err(), "zero retries");
+        assert!(
+            pol(0.05, 2.0, 256).validate().is_err(),
+            "budget above u8 attempts"
+        );
     }
 }

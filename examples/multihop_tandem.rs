@@ -95,7 +95,7 @@ fn main() {
         let out = run_with_faults(
             &cfg,
             std::slice::from_ref(&src),
-            &FaultConfig { loss_prob: loss },
+            &FaultConfig::Iid { loss_prob: loss },
         )
         .expect("sim");
         println!(
@@ -167,9 +167,9 @@ fn main() {
             ],
         },
         faults: vec![
-            FaultConfig { loss_prob: 0.0 },
-            FaultConfig { loss_prob: 0.02 }, // loss only at the middle hop
-            FaultConfig { loss_prob: 0.0 },
+            FaultConfig::Iid { loss_prob: 0.0 },
+            FaultConfig::Iid { loss_prob: 0.02 }, // loss only at the middle hop
+            FaultConfig::Iid { loss_prob: 0.0 },
         ],
         t_end: 200.0,
         warmup: 40.0,

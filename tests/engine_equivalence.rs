@@ -63,7 +63,12 @@ fn single_link_goldens_mixed_sources_with_loss() {
         sample_interval: 0.1,
         seed: 2024,
     };
-    let out = run_with_faults(&cfg, &mixed_sources(), &FaultConfig { loss_prob: 0.05 }).unwrap();
+    let out = run_with_faults(
+        &cfg,
+        &mixed_sources(),
+        &FaultConfig::Iid { loss_prob: 0.05 },
+    )
+    .unwrap();
     let books: Vec<(u64, u64, u64)> = out
         .flows
         .iter()
@@ -213,7 +218,7 @@ fn shim_matches_run_network_single_link() {
         sample_interval: 0.1,
         seed: 31,
     };
-    let faults = FaultConfig { loss_prob: 0.03 };
+    let faults = FaultConfig::Iid { loss_prob: 0.03 };
     let via_shim = run_with_faults(&cfg, &mixed_sources(), &faults).unwrap();
 
     let net = NetConfig {
@@ -264,7 +269,7 @@ fn shim_matches_run_network_single_link() {
 fn workload_with_zero_cap_matches_run_network() {
     let net = NetConfig {
         topology: Topology::single(50.0, Service::Exponential, Some(30)),
-        faults: vec![FaultConfig { loss_prob: 0.05 }],
+        faults: vec![FaultConfig::Iid { loss_prob: 0.05 }],
         t_end: 40.0,
         warmup: 8.0,
         sample_interval: 0.1,
@@ -325,7 +330,7 @@ fn workload_with_zero_cap_matches_run_network() {
 fn byte_mode_with_unity_factor_matches_unit_fast_path() {
     let mk = |packet_bytes: Option<PacketBytes>| NetConfig {
         topology: Topology::single(50.0, Service::Exponential, Some(30)),
-        faults: vec![FaultConfig { loss_prob: 0.05 }],
+        faults: vec![FaultConfig::Iid { loss_prob: 0.05 }],
         t_end: 40.0,
         warmup: 8.0,
         sample_interval: 0.1,

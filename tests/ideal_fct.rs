@@ -245,7 +245,7 @@ fn conservation_and_slowdown_floor_under_drops() {
     .with_zipf(1.0)
     .with_prop_delay(0.005);
     let mut cfg = net(topology, 60.0, 10.0, 23);
-    cfg.faults = vec![FaultConfig { loss_prob: 0.05 }; 2];
+    cfg.faults = vec![FaultConfig::Iid { loss_prob: 0.05 }; 2];
     let out = run_network_workload(&cfg, &[], &w).unwrap();
     let s = out.workload.expect("workload stats");
     assert!(

@@ -46,8 +46,8 @@ use fpk_repro::sim::{
     FlowSizeDist, HopQdiscState, QDisc, QdiscParams, RedMark,
 };
 use fpk_repro::sim::{
-    run_network, summarize_network, FlowSpec, Link, NetConfig, QdiscKind, Route, Service,
-    SimConfig, SourceSpec, Topology, TraceMode,
+    run_network, summarize_network, FaultConfig, FlowSpec, Link, NetConfig, QdiscKind, Route,
+    RtoPolicy, Service, SimConfig, SourceSpec, Topology, TraceMode,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -296,7 +296,7 @@ proptest! {
                     sample_pending = true;
                 }
                 _ => {
-                    let kind = EventKind::Arrival { flow: op, hop: 0, marked: false, size: 1.0 };
+                    let kind = EventKind::Arrival { flow: op, hop: 0, marked: false, size: 1.0, attempt: 0 };
                     fast.push(t, kind);
                     reference.push(Event { t, seq, kind });
                     seq += 1;
@@ -667,5 +667,157 @@ proptest! {
                 "step {i}: p {p} outside [0, {max_p}]"
             );
         }
+    }
+}
+
+proptest! {
+    // Fewer cases: every case runs full DES horizons.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn degenerate_gilbert_elliott_matches_iid_statistics(
+        seed_raw in 0usize..10_000,
+        p in 0.05f64..0.30,
+        rate in 0.5f64..2.0,
+    ) {
+        // DESIGN §3i: a Gilbert–Elliott fault with equal sojourn rates
+        // and equal per-state loss is statistically an i.i.d. loss of
+        // the same probability — the state machine flips, but the loss
+        // drawn on every arrival is the same constant. The realisations
+        // differ (GE consumes fault-lane draws from the shared stream),
+        // so the pin is statistical: both arms' pooled drop fraction
+        // must sit within binomial error of `p`, on a paced source with
+        // deterministic service so `hop.loss` is the only packet-path
+        // uniform.
+        let seed = seed_raw as u64;
+        let flows = vec![FlowSpec {
+            source: SourceSpec::Rate {
+                law: LinearExp::new(6.0, 0.5, 8.0),
+                lambda0: 50.0,
+                update_interval: 1e9, // never adapt: constant 50 pkt/s
+                prop_delay: 0.01,
+                poisson: false,
+            },
+            route: Route::single(0),
+        }];
+        let mk = |fault: FaultConfig| NetConfig {
+            topology: Topology::uniform(1, Link {
+                mu: 100.0,
+                service: Service::Deterministic,
+                buffer: None,
+            }),
+            faults: vec![fault],
+            t_end: 40.0,
+            warmup: 1.0,
+            sample_interval: 0.5,
+            seed,
+            trace: TraceMode::Off,
+            qdisc: QdiscKind::Fifo,
+            packet_bytes: None,
+        };
+        let iid = run_network(&mk(FaultConfig::Iid { loss_prob: p }), &flows).unwrap();
+        let ge = run_network(
+            &mk(FaultConfig::GilbertElliott {
+                p_gb: rate,
+                p_bg: rate,
+                loss_good: p,
+                loss_bad: p,
+            }),
+            &flows,
+        )
+        .unwrap();
+        for (name, r) in [("iid", &iid), ("ge", &ge)] {
+            let (sent, dropped) = (r.flows[0].sent, r.flows[0].dropped);
+            prop_assert!(sent > 1000, "{name}: paced source must emit the horizon");
+            let frac = dropped as f64 / sent as f64;
+            let tol = 4.0 * (p * (1.0 - p) / sent as f64).sqrt();
+            prop_assert!(
+                (frac - p).abs() <= tol,
+                "{name}: drop fraction {frac} outside {p} ± {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn linkflap_downtime_converges_to_stationary_fraction(
+        seed_raw in 0usize..10_000,
+        down_rate in 0.2f64..0.5,
+        up_rate in 1.0f64..3.0,
+    ) {
+        // DESIGN §3i: the up/down renewal process spends a long-run
+        // fraction down_rate / (up_rate + down_rate) of its time down.
+        // Over ~60+ cycles and 3 seeds the measured post-warmup
+        // downtime fraction must land within a generous CI of that.
+        let expected = down_rate / (up_rate + down_rate);
+        let flows = vec![FlowSpec {
+            source: SourceSpec::Rate {
+                law: LinearExp::new(6.0, 0.5, 8.0),
+                lambda0: 1.0,
+                update_interval: 1e9,
+                prop_delay: 0.01,
+                poisson: false,
+            },
+            route: Route::single(0),
+        }];
+        let mut mean = 0.0;
+        const SEEDS: usize = 3;
+        for k in 0..SEEDS {
+            let cfg = NetConfig {
+                topology: Topology::uniform(1, Link {
+                    mu: 100.0,
+                    service: Service::Deterministic,
+                    buffer: None,
+                }),
+                faults: vec![FaultConfig::LinkFlap { up_rate, down_rate }],
+                t_end: 400.0,
+                warmup: 1.0,
+                sample_interval: 1.0,
+                seed: seed_raw as u64 + k as u64,
+                trace: TraceMode::Off,
+                qdisc: QdiscKind::Fifo,
+                packet_bytes: None,
+            };
+            let r = run_network(&cfg, &flows).unwrap();
+            prop_assert_eq!(r.downtime_frac.len(), 1);
+            prop_assert!((0.0..=1.0).contains(&r.downtime_frac[0]));
+            mean += r.downtime_frac[0] / SEEDS as f64;
+        }
+        let tol = 0.30 * expected + 0.02;
+        prop_assert!(
+            (mean - expected).abs() <= tol,
+            "downtime fraction {mean} outside {expected} ± {tol}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn rto_backoff_is_monotone_bounded_and_deterministic(
+        rto_base in 1e-3f64..1.0,
+        backoff in 1.0f64..4.0,
+        max_retries_raw in 1usize..256,
+    ) {
+        // DESIGN §3i: the retransmission wait is a pure function of the
+        // attempt number — rto_base on the first retry, growing
+        // geometrically, finite over the whole 1..=255 budget, and
+        // identical on every evaluation (the policy draws no RNG).
+        let max_retries = max_retries_raw as u32;
+        let policy = RtoPolicy { rto_base, backoff, max_retries };
+        policy.validate().unwrap();
+        prop_assert_eq!(policy.wait_before(1).to_bits(), rto_base.to_bits());
+        let mut prev = 0.0f64;
+        for attempt in 1..=max_retries {
+            let w = policy.wait_before(attempt);
+            prop_assert_eq!(w.to_bits(), policy.wait_before(attempt).to_bits());
+            prop_assert!(w.is_finite() && w > 0.0, "attempt {attempt}: wait {w}");
+            prop_assert!(w >= prev, "attempt {attempt}: {w} < {prev} not monotone");
+            let closed_form = rto_base * backoff.powi(attempt as i32 - 1);
+            prop_assert!(
+                (w - closed_form).abs() <= 1e-12 * closed_form.max(1.0),
+                "attempt {attempt}: {w} != closed form {closed_form}"
+            );
+            prev = w;
+        }
+        prop_assert!(policy.wait_before(255) <= rto_base * backoff.powi(254) * (1.0 + 1e-12));
     }
 }

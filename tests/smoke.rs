@@ -200,7 +200,7 @@ fn des_rate_source_with_loss_smoke() {
             prop_delay: 0.01,
             poisson: true,
         }],
-        &FaultConfig { loss_prob: 0.08 },
+        &FaultConfig::Iid { loss_prob: 0.08 },
     )
     .expect("lossy rate run");
     check_lossy_result(&out, "lossy rate source");
@@ -220,7 +220,7 @@ fn des_window_source_with_loss_smoke() {
             aimd: WindowAimd::new(1.0, 0.5, 0.05, 10.0),
             w0: 2.0,
         }],
-        &FaultConfig { loss_prob: 0.08 },
+        &FaultConfig::Iid { loss_prob: 0.08 },
     )
     .expect("lossy window run");
     check_lossy_result(&out, "lossy window source");
@@ -244,7 +244,7 @@ fn des_onoff_source_with_loss_smoke() {
             mean_off: 0.5,
             prop_delay: 0.01,
         }],
-        &FaultConfig { loss_prob: 0.08 },
+        &FaultConfig::Iid { loss_prob: 0.08 },
     )
     .expect("lossy on-off run");
     check_lossy_result(&out, "lossy on-off source");
@@ -260,7 +260,7 @@ fn des_decbit_source_with_loss_smoke() {
             w0: 2.0,
             q_hat: 1.0,
         }],
-        &FaultConfig { loss_prob: 0.08 },
+        &FaultConfig::Iid { loss_prob: 0.08 },
     )
     .expect("lossy decbit run");
     check_lossy_result(&out, "lossy DECbit source");
@@ -302,7 +302,7 @@ fn des_mixed_sources_with_loss_smoke() {
                 q_hat: 1.0,
             },
         ],
-        &FaultConfig { loss_prob: 0.08 },
+        &FaultConfig::Iid { loss_prob: 0.08 },
     )
     .expect("lossy mixed run");
     check_result(&out, 4, "lossy mixed sources");
@@ -340,9 +340,9 @@ fn des_network_parking_lot_rate_sources_smoke() {
             links: vec![link(90.0), link(60.0), link(120.0)],
         },
         faults: vec![
-            FaultConfig { loss_prob: 0.0 },
-            FaultConfig { loss_prob: 0.05 },
-            FaultConfig { loss_prob: 0.0 },
+            FaultConfig::Iid { loss_prob: 0.0 },
+            FaultConfig::Iid { loss_prob: 0.05 },
+            FaultConfig::Iid { loss_prob: 0.0 },
         ],
         t_end: 15.0,
         warmup: 3.0,

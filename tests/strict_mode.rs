@@ -10,8 +10,8 @@ use fpk_repro::congestion::decbit::DecbitPolicy;
 use fpk_repro::congestion::{LinearExp, WindowAimd};
 use fpk_repro::sim::{
     run_network, run_network_workload, ArrivalProcess, Bytes, FaultConfig, FlowSizeDist, FlowSpec,
-    Link, NetConfig, PacketBytes, QdiscKind, Route, Service, SourceSpec, Topology, TraceMode,
-    Workload,
+    Link, NetConfig, PacketBytes, QdiscKind, Route, RtoPolicy, Service, SourceSpec, Topology,
+    TraceMode, Workload,
 };
 
 fn base_net(t_end: f64, seed: u64) -> NetConfig {
@@ -31,8 +31,8 @@ fn base_net(t_end: f64, seed: u64) -> NetConfig {
             ],
         },
         faults: vec![
-            FaultConfig { loss_prob: 0.02 },
-            FaultConfig { loss_prob: 0.0 },
+            FaultConfig::Iid { loss_prob: 0.02 },
+            FaultConfig::Iid { loss_prob: 0.0 },
         ],
         t_end,
         warmup: 1.0,
@@ -102,9 +102,51 @@ fn workload() -> Workload {
     .with_prop_delay(0.005)
 }
 
+/// A config exercising every dynamic fault machine at once: GE bursts
+/// at the lossy hop, link flapping at the second (packets park in the
+/// down hop's FIFO, exercising the `parked` conservation term), with
+/// the workload retransmitting under a tight RTO so both `retransmits`
+/// and `packets_gave_up` are nonzero.
+fn chaos_net(seed: u64) -> NetConfig {
+    let mut cfg = base_net(12.0, seed);
+    cfg.faults = vec![
+        FaultConfig::GilbertElliott {
+            p_gb: 1.0,
+            p_bg: 1.5,
+            loss_good: 0.01,
+            loss_bad: 0.4,
+        },
+        FaultConfig::LinkFlap {
+            up_rate: 2.0,
+            down_rate: 0.5,
+        },
+    ];
+    cfg
+}
+
+fn degrade_net(seed: u64) -> NetConfig {
+    let mut cfg = base_net(12.0, seed);
+    cfg.faults = vec![
+        FaultConfig::Degrade {
+            factor: 0.4,
+            period: 1.5,
+        },
+        FaultConfig::Iid { loss_prob: 0.05 },
+    ];
+    cfg
+}
+
+fn rto_workload() -> Workload {
+    workload().with_rto(RtoPolicy {
+        rto_base: 0.02,
+        backoff: 2.0,
+        max_retries: 2,
+    })
+}
+
 /// Serialize every observable output so the on/off comparison is a
 /// single string equality with a readable diff on failure.
-fn run_both(strict: bool) -> (String, String) {
+fn run_both(strict: bool) -> Vec<String> {
     assert_eq!(
         std::env::var("FPK_CHECK").is_ok(),
         strict,
@@ -113,22 +155,50 @@ fn run_both(strict: bool) -> (String, String) {
     let static_run = run_network(&base_net(12.0, 424_242), &mixed_flows()).expect("static run");
     let wl_run = run_network_workload(&base_net(12.0, 77), &mixed_flows(), &workload())
         .expect("workload run");
-    (format!("{static_run:?}"), format!("{wl_run:?}"))
+    let chaos_static = run_network(&chaos_net(11), &mixed_flows()).expect("chaos static run");
+    let chaos_wl = run_network_workload(&chaos_net(13), &mixed_flows(), &rto_workload())
+        .expect("chaos workload run");
+    let degrade_wl = run_network_workload(&degrade_net(17), &mixed_flows(), &rto_workload())
+        .expect("degrade workload run");
+    if strict {
+        // The chaos configs must actually exercise the new machinery,
+        // otherwise the bit-identity pin proves nothing.
+        let wl = chaos_wl.workload.as_ref().expect("workload stats");
+        assert!(wl.retransmits > 0, "chaos config never retransmitted");
+        assert!(wl.packets_gave_up > 0, "chaos config never abandoned");
+        assert_eq!(wl.packets_dropped, 0, "RTO losses must be gave_up");
+        assert!(
+            chaos_wl.downtime_frac[1] > 0.0,
+            "flap hop recorded no downtime"
+        );
+    }
+    vec![
+        format!("{static_run:?}"),
+        format!("{wl_run:?}"),
+        format!("{chaos_static:?}"),
+        format!("{chaos_wl:?}"),
+        format!("{degrade_wl:?}"),
+    ]
 }
 
 #[test]
 fn strict_mode_is_observation_only() {
     // The harness may inherit FPK_CHECK from CI's strict job; normalize.
     std::env::remove_var("FPK_CHECK");
-    let (plain_static, plain_wl) = run_both(false);
+    let plain = run_both(false);
 
     std::env::set_var("FPK_CHECK", "1");
-    let (strict_static, strict_wl) = run_both(true);
+    let strict = run_both(true);
     std::env::remove_var("FPK_CHECK");
 
-    assert_eq!(
-        plain_static, strict_static,
-        "strict mode changed a static-flow run"
-    );
-    assert_eq!(plain_wl, strict_wl, "strict mode changed a workload run");
+    let names = [
+        "static-flow",
+        "workload",
+        "chaos static-flow",
+        "chaos workload+RTO",
+        "degrade workload+RTO",
+    ];
+    for ((p, s), name) in plain.iter().zip(&strict).zip(names) {
+        assert_eq!(p, s, "strict mode changed a {name} run");
+    }
 }
